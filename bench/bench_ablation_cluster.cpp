@@ -1,0 +1,68 @@
+// Extension study: HIOS on GPU *clusters* (§I motivation — "supercomputers
+// and clusters have high-speed network interconnect among GPU compute
+// nodes"). Compares symmetric NVLink machines against clusters whose
+// cross-node links are several times slower, and the MPI-vs-NCCL
+// communication backend (§VI-E implementation improvement).
+#include "bench_common.h"
+
+using namespace hios;
+
+int main() {
+  const int instances = bench::instances_per_point();
+  bench::print_header("Extension: cluster topology + NCCL backend",
+                      "HIOS-LP / HIOS-MR on symmetric vs hierarchical interconnects");
+
+  // Part 1: random DAGs on 4 and 8 GPUs, symmetric vs 2-GPU-node clusters.
+  TextTable table;
+  table.set_header({"gpus", "topology", "hios-lp", "hios-mr", "sequential", "lp_speedup"});
+  for (int gpus : {4, 8}) {
+    for (const bool clustered : {false, true}) {
+      cost::TableCostModel model;
+      if (clustered)
+        model.set_topology(cost::Topology::hierarchical(gpus, 2, cost::LinkClass{4.0, 0.05}));
+      RunningStats lp, mr, seq;
+      for (int i = 1; i <= instances; ++i) {
+        models::RandomDagParams p;
+        p.seed = static_cast<uint64_t>(i);
+        const graph::Graph g = models::random_dag(p);
+        sched::SchedulerConfig config;
+        config.num_gpus = gpus;
+        lp.add(sched::make_scheduler("hios-lp")->schedule(g, model, config).latency_ms);
+        mr.add(sched::make_scheduler("hios-mr")->schedule(g, model, config).latency_ms);
+        seq.add(sched::make_scheduler("sequential")->schedule(g, model, config).latency_ms);
+      }
+      table.add_row({std::to_string(gpus), clustered ? "cluster(2/node)" : "symmetric",
+                     bench::mean_std(lp), bench::mean_std(mr), bench::mean_std(seq),
+                     TextTable::num(seq.mean() / lp.mean(), 2)});
+      std::fflush(stdout);
+    }
+  }
+  bench::print_table(table, "ablation_cluster");
+
+  // Part 2: Inception-v3 under MPI vs NCCL-style backends.
+  TextTable nccl_table;
+  nccl_table.set_header({"image_hw", "backend", "hios-lp_ms", "hios-mr_ms"});
+  for (int64_t hw : {int64_t{299}, int64_t{1024}}) {
+    models::InceptionV3Options opt;
+    opt.image_hw = hw;
+    const ops::Model m = models::make_inception_v3(opt);
+    for (const bool nccl : {false, true}) {
+      cost::Platform platform = cost::make_dual_a40_nvlink();
+      if (nccl) platform = cost::with_nccl_backend(platform);
+      const cost::ProfiledModel pm = cost::profile_model(m, platform);
+      sched::SchedulerConfig config;
+      config.num_gpus = 2;
+      const auto lp = sched::make_scheduler("hios-lp")->schedule(pm.graph, *pm.cost, config);
+      const auto mr = sched::make_scheduler("hios-mr")->schedule(pm.graph, *pm.cost, config);
+      nccl_table.add_row({std::to_string(hw), nccl ? "NCCL-style" : "CUDA-aware MPI",
+                          TextTable::num(lp.latency_ms, 3), TextTable::num(mr.latency_ms, 3)});
+    }
+  }
+  bench::print_table(nccl_table, "ablation_nccl");
+  bench::print_expectation(
+      "slower cross-node links shrink (but do not erase) multi-GPU speedups, and the "
+      "scheduler adapts by keeping paths inside NVLink islands; removing the per-"
+      "dependency launch stall (NCCL-style) helps cut-heavy schedules most — the "
+      "paper's §VI-E hypothesis.");
+  return 0;
+}

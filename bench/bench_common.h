@@ -1,0 +1,81 @@
+// Shared helpers for the figure-reproduction benchmark harnesses.
+//
+// Every bench prints: a header naming the paper figure, the reproduced
+// series as an aligned table, a CSV block for plotting, and the expected
+// qualitative shape from the paper (recorded in EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/hios.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace hios::bench {
+
+/// Number of random instances per data point. The paper averages 30 runs;
+/// default is 5 to keep `for b in build/bench/*; do $b; done` minutes-scale
+/// on one core. Override with HIOS_BENCH_INSTANCES=30 for paper-strength
+/// statistics.
+inline int instances_per_point(int fallback = 5) {
+  if (const char* env = std::getenv("HIOS_BENCH_INSTANCES")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline void print_header(const std::string& figure, const std::string& description) {
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), description.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_table(const TextTable& table, const std::string& csv_tag) {
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n--- CSV (%s) ---\n%s--- end CSV ---\n\n", csv_tag.c_str(),
+              table.to_csv().c_str());
+}
+
+inline void print_expectation(const std::string& text) {
+  std::printf("Paper shape: %s\n\n", text.c_str());
+}
+
+/// The six §V-B algorithms in presentation order.
+inline const std::vector<std::string>& all_algorithms() {
+  static const std::vector<std::string> names = {"sequential", "ios",      "hios-lp",
+                                                 "hios-mr",    "inter-lp", "inter-mr"};
+  return names;
+}
+
+/// mean ± std formatted as the paper plots (error bars).
+inline std::string mean_std(const RunningStats& s, int precision = 1) {
+  return TextTable::num(s.mean(), precision) + "±" + TextTable::num(s.stddev(), precision);
+}
+
+/// One simulation data point (§V): `instances` random DAGs from `params`
+/// (seeds 1..instances), each scheduled by every algorithm in `algs` on
+/// `num_gpus` GPUs under the table cost model. Returns per-algorithm
+/// latency statistics.
+inline std::map<std::string, RunningStats> run_sim_point(
+    const models::RandomDagParams& params, int num_gpus, int instances,
+    const std::vector<std::string>& algs = all_algorithms()) {
+  std::map<std::string, RunningStats> stats;
+  const cost::TableCostModel cost;
+  for (int i = 1; i <= instances; ++i) {
+    models::RandomDagParams p = params;
+    p.seed = static_cast<uint64_t>(i);
+    const graph::Graph g = models::random_dag(p);
+    sched::SchedulerConfig config;
+    config.num_gpus = num_gpus;
+    for (const auto& [name, result] : core::run_algorithms(g, cost, config, algs)) {
+      stats[name].add(result.latency_ms);
+    }
+  }
+  return stats;
+}
+
+}  // namespace hios::bench

@@ -1,0 +1,46 @@
+// Extension study: batch size vs scheduling benefit.
+//
+// The paper fixes batch = 1 "for the fastest response" (§VI-B). Larger
+// batches multiply every operator's work, pushing even small operators
+// into the §II-A saturation regime — so intra-GPU grouping (and IOS)
+// should fade while inter-GPU scheduling keeps paying. This bench
+// quantifies that on Inception-v3, and reports the optimality gap of
+// HIOS-LP against the critical-path/area lower bound.
+#include "bench_common.h"
+
+using namespace hios;
+
+int main() {
+  bench::print_header("Extension: batch size",
+                      "Inception-v3 @299, dual A40 + NVLink, batch 1..8");
+
+  TextTable table;
+  table.set_header({"batch", "sequential", "ios", "hios-lp", "hios-mr", "ios_gain%",
+                    "lp_gain%", "lower_bound", "lp_gap%"});
+  for (int64_t batch : {1, 2, 4, 8}) {
+    models::InceptionV3Options opt;
+    opt.batch = batch;
+    const ops::Model model = models::make_inception_v3(opt);
+    const cost::ProfiledModel pm = cost::profile_model(model, cost::make_dual_a40_nvlink());
+    sched::SchedulerConfig config;
+    config.num_gpus = 2;
+    const auto results = core::run_algorithms(pm.graph, *pm.cost, config,
+                                              {"sequential", "ios", "hios-lp", "hios-mr"});
+    auto lat = [&](const char* a) { return results.at(a).latency_ms; };
+    const auto bounds = sched::latency_lower_bounds(pm.graph, *pm.cost, 2);
+    table.add_row({std::to_string(batch), TextTable::num(lat("sequential"), 2),
+                   TextTable::num(lat("ios"), 2), TextTable::num(lat("hios-lp"), 2),
+                   TextTable::num(lat("hios-mr"), 2),
+                   TextTable::num(100.0 * (1.0 - lat("ios") / lat("sequential")), 1),
+                   TextTable::num(100.0 * (1.0 - lat("hios-lp") / lat("sequential")), 1),
+                   TextTable::num(bounds.combined_ms, 2),
+                   TextTable::num(100.0 * (lat("hios-lp") / bounds.combined_ms - 1.0), 1)});
+    std::fflush(stdout);
+  }
+  bench::print_table(table, "ext_batch");
+  bench::print_expectation(
+      "IOS's gain over sequential shrinks as the batch grows (operators saturate the "
+      "GPU alone), while multi-GPU HIOS keeps a margin — the batch dimension reproduces "
+      "the same mechanism as the paper's input-size sweep (Fig. 12).");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 1 reproduction: latency ratio between sequential and parallel
+// execution of two identical 5x5 convolutions over input image sizes
+// 8x8 .. 1024x1024 on an NVIDIA A40 (§II-A motivation experiment).
+//
+// Also sweeps the contention coefficient kappa (the DESIGN.md §6 ablation)
+// to show where the crossover moves.
+#include "bench_common.h"
+
+using namespace hios;
+
+namespace {
+
+double ratio_for(int64_t hw, const cost::GpuSpec& gpu) {
+  const ops::Model m = models::make_single_conv_model(hw);
+  const cost::OpCost c = cost::estimate_op_cost(m, 1, gpu);
+  const double seq = 2.0 * c.time_ms;
+  const double times[] = {c.time_ms, c.time_ms};
+  const double demands[] = {c.demand, c.demand};
+  const double par = cost::contention_stage_time(times, demands, gpu.contention_kappa,
+                                                 gpu.stream_overhead_ms);
+  return seq / par;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 1",
+                      "seq/parallel latency ratio of two identical conv(5x5,s1,48ch) "
+                      "operators vs input size, NVIDIA A40");
+
+  TextTable table;
+  table.set_header({"image_hw", "t_solo_ms", "demand", "seq_ms", "par_ms", "seq/par"});
+  const cost::GpuSpec gpu = cost::make_a40();
+  for (int64_t hw = 8; hw <= 1024; hw *= 2) {
+    const ops::Model m = models::make_single_conv_model(hw);
+    const cost::OpCost c = cost::estimate_op_cost(m, 1, gpu);
+    const double times[] = {c.time_ms, c.time_ms};
+    const double demands[] = {c.demand, c.demand};
+    const double par = cost::contention_stage_time(times, demands, gpu.contention_kappa,
+                                                   gpu.stream_overhead_ms);
+    table.add_row({std::to_string(hw), TextTable::num(c.time_ms, 4),
+                   TextTable::num(c.demand, 3), TextTable::num(2 * c.time_ms, 4),
+                   TextTable::num(par, 4), TextTable::num(2 * c.time_ms / par, 3)});
+  }
+  bench::print_table(table, "fig01");
+  bench::print_expectation(
+      "ratio > 1 (parallel wins) for inputs <= 64x64; ratio < 1 (contention) for "
+      ">= 128x128 — the crossover that motivates inter-GPU parallelism.");
+
+  // Ablation: crossover position vs contention coefficient kappa.
+  TextTable ablation;
+  ablation.set_header({"kappa", "ratio@64", "ratio@128", "ratio@1024"});
+  for (double kappa : {0.0, 0.06, 0.12, 0.24}) {
+    cost::GpuSpec g = cost::make_a40();
+    g.contention_kappa = kappa;
+    ablation.add_row({TextTable::num(kappa, 2), TextTable::num(ratio_for(64, g), 3),
+                      TextTable::num(ratio_for(128, g), 3),
+                      TextTable::num(ratio_for(1024, g), 3)});
+  }
+  std::printf("Ablation: contention coefficient kappa (DESIGN.md §6.3)\n");
+  bench::print_table(ablation, "fig01_kappa_ablation");
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig. 2 reproduction: ratio of input-tensor transfer time between two
+// GPUs to the computation time of the §II-A convolution, across input
+// sizes, on the paper's three dual-GPU platforms (§II-B).
+#include "bench_common.h"
+
+using namespace hios;
+
+int main() {
+  bench::print_header("Figure 2",
+                      "transfer/compute time ratio of conv(5x5,48ch) vs input size on "
+                      "A40+NVLink, RTX A5500+NVLink, V100S+PCIe Gen3");
+
+  const std::vector<cost::Platform> platforms = {cost::make_dual_a40_nvlink(),
+                                                 cost::make_dual_a5500_nvlink(),
+                                                 cost::make_dual_v100s_pcie()};
+  TextTable table;
+  table.set_header({"image_hw", "A40+NVLink", "A5500+NVLink", "V100S+PCIe"});
+  for (int64_t hw = 8; hw <= 1024; hw *= 2) {
+    const ops::Model m = models::make_single_conv_model(hw);
+    std::vector<std::string> row{std::to_string(hw)};
+    for (const cost::Platform& p : platforms) {
+      const cost::OpCost c = cost::estimate_op_cost(m, 1, p.gpu);
+      const double transfer =
+          cost::estimate_transfer_ms(m.output_shape(0).bytes(), p.link);
+      row.push_back(TextTable::num(transfer / c.time_ms, 3));
+    }
+    table.add_row(std::move(row));
+  }
+  bench::print_table(table, "fig02");
+  bench::print_expectation(
+      "communication overhead is not negligible at any size; NVLink platforms have a "
+      "markedly lower transfer/compute ratio than the V100S PCIe platform, making them "
+      "the suitable substrate for inter-GPU operator parallelism.");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fig. 7 reproduction: inference latency of the six scheduling algorithms
+// over the number of GPUs (2..12), random DL models with 200 operators,
+// 14 layers, 400 dependencies, p = 0.8 (§V-A / §V-C).
+#include "bench_common.h"
+
+using namespace hios;
+
+int main() {
+  const int instances = bench::instances_per_point();
+  bench::print_header("Figure 7", "latency (ms) vs number of GPUs, random 200-op DAGs, " +
+                                      std::to_string(instances) + " instances/point");
+
+  models::RandomDagParams params;  // §V-A defaults: 200 ops, 14 layers, 400 deps, p=0.8
+  TextTable table;
+  table.set_header({"gpus", "sequential", "ios", "hios-lp", "hios-mr", "inter-lp",
+                    "inter-mr", "lp_speedup_vs_seq", "lp_speedup_vs_ios"});
+  for (int gpus = 2; gpus <= 12; gpus += 2) {
+    const auto stats = bench::run_sim_point(params, gpus, instances);
+    std::vector<std::string> row{std::to_string(gpus)};
+    for (const std::string& alg : bench::all_algorithms())
+      row.push_back(bench::mean_std(stats.at(alg)));
+    row.push_back(
+        TextTable::num(stats.at("sequential").mean() / stats.at("hios-lp").mean(), 2));
+    row.push_back(TextTable::num(stats.at("ios").mean() / stats.at("hios-lp").mean(), 2));
+    table.add_row(std::move(row));
+    std::fflush(stdout);
+  }
+  bench::print_table(table, "fig07");
+  bench::print_expectation(
+      "sequential/IOS flat (single GPU); HIOS-LP latency drops as GPUs grow (paper: "
+      "1.4-3.8x speedup over sequential from 2 to 12 GPUs) and scales much better than "
+      "HIOS-MR (paper: <= 1.5x).");
+  return 0;
+}

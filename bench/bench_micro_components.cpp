@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark) for the scheduler building blocks:
+// these are the inner-loop costs that determine Fig. 14's algorithm-runtime
+// component.
+#include <benchmark/benchmark.h>
+
+#include "core/hios.h"
+
+using namespace hios;
+
+namespace {
+
+graph::Graph test_graph(int ops) {
+  models::RandomDagParams p;
+  p.num_ops = ops;
+  p.num_layers = std::max(2, ops / 14);
+  p.num_deps = 2 * ops;
+  p.seed = 42;
+  return models::random_dag(p);
+}
+
+void BM_PriorityIndicators(benchmark::State& state) {
+  const graph::Graph g = test_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(graph::priority_indicators(g));
+}
+BENCHMARK(BM_PriorityIndicators)->Arg(100)->Arg(400);
+
+void BM_Reachability(benchmark::State& state) {
+  const graph::Graph g = test_graph(static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(graph::reachability(g));
+}
+BENCHMARK(BM_Reachability)->Arg(100)->Arg(400);
+
+void BM_LongestValidPath(benchmark::State& state) {
+  const graph::Graph g = test_graph(static_cast<int>(state.range(0)));
+  DynBitset half(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes() / 2; ++v) half.set(v);
+  for (auto _ : state) benchmark::DoNotOptimize(graph::longest_valid_path(g, half));
+}
+BENCHMARK(BM_LongestValidPath)->Arg(100)->Arg(400);
+
+void BM_ListSchedule(benchmark::State& state) {
+  const graph::Graph g = test_graph(static_cast<int>(state.range(0)));
+  const cost::TableCostModel cost;
+  const auto order = graph::priority_order(g);
+  std::vector<int> mapping(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v) mapping[v] = static_cast<int>(v % 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::list_schedule(g, mapping, order, 4, cost));
+}
+BENCHMARK(BM_ListSchedule)->Arg(100)->Arg(400);
+
+void BM_StageTimeEval(benchmark::State& state) {
+  const graph::Graph g = test_graph(64);
+  const cost::TableCostModel cost;
+  std::vector<graph::NodeId> stage;
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(state.range(0)); ++v)
+    stage.push_back(v);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cost.stage_time(g, std::span<const graph::NodeId>(stage)));
+}
+BENCHMARK(BM_StageTimeEval)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_EvaluateSchedule(benchmark::State& state) {
+  const graph::Graph g = test_graph(static_cast<int>(state.range(0)));
+  const cost::TableCostModel cost;
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  const auto r = sched::make_scheduler("inter-lp")->schedule(g, cost, config);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sched::evaluate_schedule(g, r.schedule, cost));
+}
+BENCHMARK(BM_EvaluateSchedule)->Arg(100)->Arg(400);
+
+void BM_Scheduler(benchmark::State& state, const char* name) {
+  const graph::Graph g = test_graph(100);
+  const cost::TableCostModel cost;
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  const auto scheduler = sched::make_scheduler(name);
+  for (auto _ : state) benchmark::DoNotOptimize(scheduler->schedule(g, cost, config));
+}
+BENCHMARK_CAPTURE(BM_Scheduler, sequential, "sequential");
+BENCHMARK_CAPTURE(BM_Scheduler, hios_lp, "hios-lp");
+BENCHMARK_CAPTURE(BM_Scheduler, hios_mr, "hios-mr");
+BENCHMARK_CAPTURE(BM_Scheduler, ios, "ios")->Iterations(3);
+
+void BM_ProfileInception(benchmark::State& state) {
+  const ops::Model m = models::make_inception_v3();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cost::profile_model(m, cost::make_dual_a40_nvlink()));
+}
+BENCHMARK(BM_ProfileInception);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+#include "core/memory.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sched/evaluate.h"
+
+namespace hios::core {
+
+std::vector<GpuMemoryStats> estimate_peak_memory(const ops::Model& model,
+                                                 const graph::Graph& g,
+                                                 const sched::Schedule& schedule,
+                                                 const cost::CostModel& cost) {
+  const auto eval = sched::evaluate_schedule(g, schedule, cost);
+  HIOS_CHECK(eval.has_value(), "estimate_peak_memory: schedule deadlocks");
+  const std::vector<int> gpu_of = schedule.gpu_assignment(g.num_nodes());
+
+  std::vector<GpuMemoryStats> stats(static_cast<std::size_t>(schedule.num_gpus));
+
+  // Parameters are resident for the whole run.
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v) {
+    const auto op_id = static_cast<ops::OpId>(g.node_tag(v));
+    HIOS_CHECK(op_id >= 0 && op_id < model.num_ops(), "node " << v << " has no model tag");
+    stats[static_cast<std::size_t>(gpu_of[static_cast<std::size_t>(v)])].param_bytes +=
+        model.param_count(op_id) * static_cast<int64_t>(sizeof(float));
+  }
+
+  // Activation lifetime events per GPU: +bytes when a tensor materialises
+  // on the GPU (produced there, or received as a transfer copy), -bytes
+  // after its last consuming stage there finishes. Sinks are held to the
+  // end (their outputs are the inference result).
+  struct Event {
+    double time;
+    int64_t delta;
+  };
+  std::vector<std::vector<Event>> events(static_cast<std::size_t>(schedule.num_gpus));
+
+  auto stage_finish = [&](graph::NodeId v) {
+    return eval->stages[static_cast<std::size_t>(eval->stage_of[static_cast<std::size_t>(v)])]
+        .finish;
+  };
+
+  const double horizon = eval->latency_ms + 1.0;
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v) {
+    const auto op_id = static_cast<ops::OpId>(g.node_tag(v));
+    const int64_t bytes = model.output_shape(op_id).bytes();
+    const int home = gpu_of[static_cast<std::size_t>(v)];
+    const double born = stage_finish(v);
+
+    // Where is this tensor needed, and until when, per GPU?
+    std::map<int, double> last_use;  // gpu -> latest consuming stage finish
+    last_use[home] = g.out_degree(v) == 0 ? horizon : born;
+    for (graph::EdgeId e : g.out_edges(v)) {
+      const graph::NodeId w = g.edge(e).dst;
+      const int consumer_gpu = gpu_of[static_cast<std::size_t>(w)];
+      auto [it, inserted] = last_use.emplace(consumer_gpu, stage_finish(w));
+      if (!inserted) it->second = std::max(it->second, stage_finish(w));
+    }
+    for (const auto& [gpu, until] : last_use) {
+      events[static_cast<std::size_t>(gpu)].push_back(Event{born, bytes});
+      events[static_cast<std::size_t>(gpu)].push_back(Event{until, -bytes});
+    }
+  }
+
+  for (int gpu = 0; gpu < schedule.num_gpus; ++gpu) {
+    auto& evs = events[static_cast<std::size_t>(gpu)];
+    // Frees at the same timestamp apply after allocations conservatively:
+    // sort by (time, delta descending) so +bytes precede -bytes.
+    std::sort(evs.begin(), evs.end(), [](const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time < b.time;
+      return a.delta > b.delta;
+    });
+    int64_t live = 0, peak = 0;
+    for (const Event& e : evs) {
+      live += e.delta;
+      peak = std::max(peak, live);
+    }
+    stats[static_cast<std::size_t>(gpu)].peak_activation_bytes = peak;
+  }
+  return stats;
+}
+
+bool fits_memory(const std::vector<GpuMemoryStats>& stats, int64_t capacity_bytes) {
+  for (const GpuMemoryStats& s : stats) {
+    if (s.peak_total_bytes() > capacity_bytes) return false;
+  }
+  return true;
+}
+
+}  // namespace hios::core

@@ -1,0 +1,39 @@
+// Per-GPU memory accounting for a schedule.
+//
+// §II of the paper notes that intra-operator splitting is only needed when
+// "the memory size of a single GPU is insufficient" — which makes peak
+// memory per GPU a constraint HIOS users must check before deploying a
+// schedule (a 48 GB A40 fits Inception at 2048^2; four-way splits of a
+// bigger model might not). This module computes, per GPU:
+//   parameters of its resident operators
+// + the peak of live activations over the schedule's stage timeline
+//   (a tensor is live on GPU i from the finish of its producing/receiving
+//   stage until the last stage on i that consumes it finishes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "ops/model.h"
+#include "sched/schedule.h"
+
+namespace hios::core {
+
+struct GpuMemoryStats {
+  int64_t param_bytes = 0;            ///< resident weights
+  int64_t peak_activation_bytes = 0;  ///< max simultaneous live tensors
+  int64_t peak_total_bytes() const { return param_bytes + peak_activation_bytes; }
+};
+
+/// Peak memory per GPU under `schedule`. Graph node tags must index into
+/// `model` (as produced by ops::Model::to_graph / cost::profile_model).
+std::vector<GpuMemoryStats> estimate_peak_memory(const ops::Model& model,
+                                                 const graph::Graph& g,
+                                                 const sched::Schedule& schedule,
+                                                 const cost::CostModel& cost);
+
+/// True when every GPU's peak fits in `capacity_bytes`.
+bool fits_memory(const std::vector<GpuMemoryStats>& stats, int64_t capacity_bytes);
+
+}  // namespace hios::core

@@ -1,0 +1,87 @@
+#include "cost/analytical_model.h"
+
+#include <algorithm>
+
+namespace hios::cost {
+
+namespace {
+constexpr double kMinOccupancy = 0.02;
+}  // namespace
+
+OpCost estimate_op_cost(const ops::Model& model, ops::OpId id, const GpuSpec& gpu) {
+  HIOS_CHECK(!model.is_input(id), "input placeholders have no cost");
+  const int64_t flops = model.flops(id);
+  const int64_t bytes = model.memory_bytes(id);
+  const int64_t out_elems = model.output_shape(id).elements();
+
+  const double saturation = static_cast<double>(gpu.sm_count) * gpu.saturation_elems_per_sm;
+  const double u = std::clamp(static_cast<double>(out_elems) / saturation, kMinOccupancy, 1.0);
+
+  const double compute_ms =
+      static_cast<double>(flops) / (gpu.fp32_tflops * 1e12 * gpu.compute_efficiency * u) * 1e3;
+  const double memory_ms =
+      static_cast<double>(bytes) / (gpu.mem_bw_gbps * 1e9 * gpu.bandwidth_efficiency * u) * 1e3;
+
+  OpCost cost;
+  cost.time_ms = gpu.launch_overhead_ms + std::max(compute_ms, memory_ms);
+  cost.demand = u;
+  return cost;
+}
+
+double estimate_transfer_ms(int64_t bytes, const InterconnectSpec& link) {
+  HIOS_CHECK(bytes >= 0, "negative transfer size");
+  return link.latency_ms + static_cast<double>(bytes) / (link.bw_gbps * 1e9) * 1e3;
+}
+
+double AnalyticalCostModel::demand(const graph::Graph& g, graph::NodeId v) const {
+  HIOS_CHECK(static_cast<std::size_t>(v) < demands_.size(),
+             "node " << v << " was not profiled");
+  (void)g;
+  return demands_[static_cast<std::size_t>(v)];
+}
+
+double AnalyticalCostModel::stage_time(const graph::Graph& g,
+                                       std::span<const graph::NodeId> stage) const {
+  HIOS_CHECK(!stage.empty(), "stage_time of empty stage");
+  if (stage.size() == 1) return g.node_weight(stage[0]);
+  // Allocation-free inner loop (see cost_model.h for the formula).
+  double max_t = 0.0, work = 0.0, sum_r = 0.0;
+  for (graph::NodeId v : stage) {
+    const double t = g.node_weight(v);
+    const double r = demand(g, v);
+    max_t = std::max(max_t, t);
+    work += t * r;
+    sum_r += r;
+  }
+  double base = std::max(max_t, work);
+  if (sum_r > 1.0) base *= 1.0 + gpu_.contention_kappa * (sum_r - 1.0);
+  return base + gpu_.stream_overhead_ms * static_cast<double>(stage.size() - 1);
+}
+
+ProfiledModel profile_model(const ops::Model& model, const Platform& platform) {
+  graph::Graph g = model.to_graph();
+  std::vector<double> demands(g.num_nodes(), kMinOccupancy);
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v) {
+    const auto op_id = static_cast<ops::OpId>(g.node_tag(v));
+    const OpCost cost = estimate_op_cost(model, op_id, platform.gpu);
+    g.set_node_weight(v, cost.time_ms);
+    demands[static_cast<std::size_t>(v)] = cost.demand;
+  }
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges()); ++e) {
+    const auto producer = static_cast<ops::OpId>(g.node_tag(g.edge(e).src));
+    const int64_t bytes = model.output_shape(producer).bytes();
+    // Scheduling-time edge weight = raw transfer + the consumer-side
+    // kernel-launch stall the paper observes with CUDA-aware MPI (§VI-E).
+    g.set_edge_weight(e, estimate_transfer_ms(bytes, platform.link) +
+                             platform.link.sync_overhead_ms);
+  }
+  ProfiledModel profiled;
+  profiled.graph = std::move(g);
+  auto model_cost = std::make_shared<AnalyticalCostModel>(std::move(demands), platform.gpu);
+  if (!platform.topology.empty()) model_cost->set_topology(platform.topology);
+  profiled.cost = std::move(model_cost);
+  profiled.platform = platform;
+  return profiled;
+}
+
+}  // namespace hios::cost

@@ -1,0 +1,66 @@
+// Analytical GPU cost model: the substitute for profiling real kernels.
+//
+// t(v) follows a roofline with an occupancy term:
+//   u(v)  = clamp(out_elements / (sm_count * saturation_elems_per_sm), u_min, 1)
+//   t(v)  = launch + max( flops / (peak_fp32 * eff_c * u),
+//                         bytes / (mem_bw * eff_b * u) )
+// Low-occupancy kernels cannot use the whole chip, so their effective
+// throughput shrinks with u — this is what makes small operators profitable
+// to co-schedule (§II-A) and large ones not. The demand fed to the shared
+// contention formula is u(v) itself.
+//
+// t(u,v) = link latency + tensor bytes / link bandwidth (§II-B).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/gpu_spec.h"
+#include "ops/model.h"
+
+namespace hios::cost {
+
+/// Estimated solo execution time and GPU fraction for one operator.
+struct OpCost {
+  double time_ms = 0.0;
+  double demand = 0.0;  ///< occupancy u(v) in (0, 1]
+};
+
+/// Cost of running `id` of `model` alone on `gpu`.
+OpCost estimate_op_cost(const ops::Model& model, ops::OpId id, const GpuSpec& gpu);
+
+/// Transfer time of `bytes` across `link`.
+double estimate_transfer_ms(int64_t bytes, const InterconnectSpec& link);
+
+/// CostModel over a profiled graph: t(v)/t(u,v) on the graph, per-node
+/// demands captured at profile time.
+class AnalyticalCostModel final : public CostModel {
+ public:
+  AnalyticalCostModel(std::vector<double> demands, GpuSpec gpu)
+      : demands_(std::move(demands)), gpu_(std::move(gpu)) {}
+
+  double stage_time(const graph::Graph& g,
+                    std::span<const graph::NodeId> stage) const override;
+  double demand(const graph::Graph& g, graph::NodeId v) const override;
+
+  const GpuSpec& gpu() const { return gpu_; }
+
+ private:
+  std::vector<double> demands_;  // indexed by graph node id
+  GpuSpec gpu_;
+};
+
+/// A model profiled for a platform: scheduling graph + matching cost model.
+struct ProfiledModel {
+  graph::Graph graph;                      ///< weights filled in (ms)
+  std::shared_ptr<const CostModel> cost;   ///< supplies t(S)
+  Platform platform;
+};
+
+/// Profiles every operator and dependency of `model` on `platform`.
+/// This replaces the paper's on-device measurement pass (§VI-F counts its
+/// cost as part of scheduling time).
+ProfiledModel profile_model(const ops::Model& model, const Platform& platform);
+
+}  // namespace hios::cost

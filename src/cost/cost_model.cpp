@@ -1,0 +1,36 @@
+#include "cost/cost_model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace hios::cost {
+
+void CostModel::set_speed_factors(std::vector<double> factors) {
+  for (double f : factors) {
+    HIOS_CHECK(f > 0.0, "speed factor must be positive, got " << f);
+  }
+  speeds_ = std::move(factors);
+}
+
+double contention_stage_time(std::span<const double> times, std::span<const double> demands,
+                             double kappa, double stream_overhead_ms) {
+  HIOS_CHECK(!times.empty(), "stage_time of empty stage");
+  HIOS_CHECK(times.size() == demands.size(), "times/demands size mismatch");
+  if (times.size() == 1) return times[0];
+  double max_t = 0.0;
+  double work = 0.0;
+  double sum_r = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    HIOS_ASSERT(times[i] >= 0.0 && demands[i] > 0.0 && demands[i] <= 1.0,
+                "bad stage entry t=" << times[i] << " r=" << demands[i]);
+    max_t = std::max(max_t, times[i]);
+    work += times[i] * demands[i];
+    sum_r += demands[i];
+  }
+  double base = std::max(max_t, work);
+  if (sum_r > 1.0) base *= 1.0 + kappa * (sum_r - 1.0);
+  return base + stream_overhead_ms * static_cast<double>(times.size() - 1);
+}
+
+}  // namespace hios::cost

@@ -1,0 +1,96 @@
+// Hardware descriptions for the analytical cost model.
+//
+// These parameterise the simulation substitute for the paper's testbeds
+// (§II, §VI-A): dual NVIDIA A40 / RTX A5500 over an NVLink bridge and dual
+// Tesla V100S over PCIe Gen3. Peak numbers come from vendor datasheets;
+// the efficiency/saturation knobs are calibrated so the model reproduces
+// the paper's Fig. 1 contention crossover (~128x128 input) and Fig. 2
+// communication/computation ratio ordering.
+#pragma once
+
+#include <string>
+
+#include "cost/topology.h"
+
+namespace hios::cost {
+
+/// A single GPU's capability summary.
+struct GpuSpec {
+  std::string name;
+  int sm_count = 0;                 ///< streaming multiprocessors
+  double fp32_tflops = 0.0;         ///< peak FP32 throughput
+  double mem_bw_gbps = 0.0;         ///< device memory bandwidth (GB/s)
+  double launch_overhead_ms = 0.0;  ///< per-kernel launch latency
+  /// Output elements per SM needed before the GPU is fully utilised
+  /// (several resident waves are required to amortise scheduling).
+  double saturation_elems_per_sm = 8192.0;
+  /// Fraction of peak a well-tuned library kernel achieves.
+  double compute_efficiency = 0.55;
+  double bandwidth_efficiency = 0.75;
+  /// Context-switch / cache-thrash penalty slope once concurrent demand
+  /// exceeds the GPU (the paper's §II-A contention regime).
+  double contention_kappa = 0.12;
+  /// Extra per-additional-stream synchronisation overhead inside a stage.
+  double stream_overhead_ms = 0.004;
+};
+
+/// GPU-to-GPU interconnect (NVLink bridge or PCIe).
+struct InterconnectSpec {
+  std::string name;
+  double bw_gbps = 0.0;       ///< effective one-way bandwidth (GB/s)
+  double latency_ms = 0.0;    ///< per-message latency incl. MPI overhead
+  /// Consumer-side serialization per cross-GPU dependency: with CUDA-aware
+  /// MPI the succeeding kernel can only be launched after the transfer
+  /// completes (§VI-E of the paper), stalling the receiving stream. This
+  /// is charged on profiled edge weights (not on raw transfer-time
+  /// measurements, which is what Fig. 2 plots).
+  double sync_overhead_ms = 0.0;
+};
+
+/// A multi-GPU machine: homogeneous GPUs behind one interconnect.
+/// `topology` may mark some GPU pairs as slower than the base link
+/// (empty = fully symmetric, the paper's setting).
+struct Platform {
+  std::string name;
+  GpuSpec gpu;
+  InterconnectSpec link;
+  int num_gpus = 2;
+  Topology topology;
+};
+
+/// NVIDIA A40 (10752 cores, 84 SMs, 37.4 TFLOPS, 696 GB/s).
+GpuSpec make_a40();
+/// NVIDIA RTX A5500 (10240 cores, 80 SMs, 34.1 TFLOPS, 768 GB/s).
+GpuSpec make_a5500();
+/// NVIDIA Tesla V100S (5120 cores, 80 SMs, 16.4 TFLOPS, 1134 GB/s).
+GpuSpec make_v100s();
+
+/// NVLink bridge: 112.5 GB/s bidirectional => ~56 GB/s per direction.
+InterconnectSpec make_nvlink_bridge();
+/// PCIe Gen3 x16: ~12 GB/s effective, higher software latency.
+InterconnectSpec make_pcie_gen3();
+
+/// The paper's three dual-GPU platforms (§II-B) and the R750XA testbed.
+Platform make_dual_a40_nvlink();
+Platform make_dual_a5500_nvlink();
+Platform make_dual_v100s_pcie();
+/// The experiment platform with a configurable GPU count (defaults to 2
+/// as in §VI-A; simulation sweeps raise it).
+Platform make_a40_server(int num_gpus = 2);
+
+/// NCCL-style communication backend (§VI-E future work): collective
+/// transfers whose completion overlaps the succeeding kernel launch, i.e.
+/// the per-dependency sync stall disappears. Returns `base` with
+/// link.sync_overhead_ms = 0.
+Platform with_nccl_backend(Platform base);
+
+/// A GPU cluster: `nodes` machines of `gpus_per_node` A40s. Within a node
+/// GPUs share the NVLink base link; across nodes transfers pay an
+/// InfiniBand-class penalty (lower bandwidth, higher latency). This is the
+/// §I "supercomputers and clusters" scenario the paper motivates but does
+/// not evaluate — an extension of this reproduction.
+Platform make_a40_cluster(int nodes, int gpus_per_node = 2,
+                          double cross_bw_scale = 4.0,
+                          double cross_extra_latency_ms = 0.05);
+
+}  // namespace hios::cost

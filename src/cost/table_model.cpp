@@ -1,0 +1,31 @@
+#include "cost/table_model.h"
+
+#include <algorithm>
+
+namespace hios::cost {
+
+double TableCostModel::demand(const graph::Graph& g, graph::NodeId v) const {
+  const double raw = g.node_weight(v) / params_.t_saturate_ms;
+  return std::clamp(raw, params_.r_min, 1.0);
+}
+
+double TableCostModel::stage_time(const graph::Graph& g,
+                                  std::span<const graph::NodeId> stage) const {
+  HIOS_CHECK(!stage.empty(), "stage_time of empty stage");
+  if (stage.size() == 1) return g.node_weight(stage[0]);
+  // Inline contention_stage_time to keep the schedulers' inner loop
+  // allocation-free (IOS evaluates millions of candidate stages).
+  double max_t = 0.0, work = 0.0, sum_r = 0.0;
+  for (graph::NodeId v : stage) {
+    const double t = g.node_weight(v);
+    const double r = demand(g, v);
+    max_t = std::max(max_t, t);
+    work += t * r;
+    sum_r += r;
+  }
+  double base = std::max(max_t, work);
+  if (sum_r > 1.0) base *= 1.0 + params_.contention_kappa * (sum_r - 1.0);
+  return base + params_.stream_overhead_ms * static_cast<double>(stage.size() - 1);
+}
+
+}  // namespace hios::cost

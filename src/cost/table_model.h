@@ -1,0 +1,41 @@
+// Table-driven cost model for the random-DAG simulation study (§V-A).
+//
+// The paper's simulation draws t(v) uniformly from [0.1, 4] ms and sets
+// t(u,v) = max(0.1 ms, p * t(u)). It never spells out t(S); we derive the
+// resource demand of an operator from its solo time — heavier operators
+// saturate more of the GPU — and reuse the shared contention formula:
+//   r(v) = clamp(t(v) / t_saturate, r_min, 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace hios::cost {
+
+/// Parameters of the simulated GPU's concurrency behaviour.
+struct TableModelParams {
+  double t_saturate_ms = 2.0;       ///< ops at/above this fill the GPU alone
+  double r_min = 0.05;              ///< even tiny kernels occupy some SMs
+  double contention_kappa = 0.12;   ///< §II-A contention slope
+  double stream_overhead_ms = 0.004;
+};
+
+/// Cost model whose t(v)/t(u,v) live on the graph; t(S) from demands.
+class TableCostModel final : public CostModel {
+ public:
+  explicit TableCostModel(TableModelParams params = {}) : params_(params) {}
+
+  double stage_time(const graph::Graph& g,
+                    std::span<const graph::NodeId> stage) const override;
+
+  double demand(const graph::Graph& g, graph::NodeId v) const override;
+
+  const TableModelParams& params() const { return params_; }
+
+ private:
+  TableModelParams params_;
+};
+
+}  // namespace hios::cost

@@ -1,0 +1,26 @@
+#include "cost/topology.h"
+
+namespace hios::cost {
+
+Topology Topology::uniform(int num_gpus) {
+  HIOS_CHECK(num_gpus >= 1, "Topology needs >= 1 GPU");
+  return Topology(num_gpus);  // default LinkClass everywhere
+}
+
+Topology Topology::hierarchical(int num_gpus, int group_size, LinkClass cross) {
+  HIOS_CHECK(num_gpus >= 1, "Topology needs >= 1 GPU");
+  HIOS_CHECK(group_size >= 1, "group_size must be >= 1");
+  HIOS_CHECK(cross.bw_scale >= 1.0, "cross-group links cannot be faster than the base");
+  Topology topo(num_gpus);
+  for (int a = 0; a < num_gpus; ++a) {
+    for (int b = 0; b < num_gpus; ++b) {
+      if (a / group_size != b / group_size) {
+        topo.pairs_[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_gpus) +
+                    static_cast<std::size_t>(b)] = cross;
+      }
+    }
+  }
+  return topo;
+}
+
+}  // namespace hios::cost

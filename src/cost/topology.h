@@ -1,0 +1,70 @@
+// Interconnect topology: per-GPU-pair link classes.
+//
+// The paper evaluates symmetric machines (every GPU pair shares one NVLink
+// bridge), but motivates HIOS with clusters whose GPUs are spread across
+// nodes behind a network (§I). Topology generalises t(u,v) to depend on
+// *which* GPUs the endpoints land on: a cross-pair transfer costs the base
+// edge weight scaled by the link class's bandwidth factor plus an extra
+// latency. All schedulers consume this through CostModel::transfer_time,
+// so HIOS-LP/HIOS-MR become topology-aware with no algorithm changes.
+#pragma once
+
+#include <vector>
+
+#include "util/error.h"
+
+namespace hios::cost {
+
+/// Relative quality of one GPU-pair link versus the platform's base link.
+struct LinkClass {
+  double bw_scale = 1.0;         ///< multiply the transfer's bandwidth term
+  double extra_latency_ms = 0.0; ///< added per message
+};
+
+/// Symmetric per-pair link table.
+class Topology {
+ public:
+  Topology() = default;
+
+  /// Every pair uses the base link (the paper's SMP machine).
+  static Topology uniform(int num_gpus);
+
+  /// GPUs form groups of `group_size` (e.g. NVLink islands / nodes);
+  /// within a group the base link applies, across groups `cross` applies.
+  static Topology hierarchical(int num_gpus, int group_size, LinkClass cross);
+
+  int num_gpus() const { return num_gpus_; }
+  bool empty() const { return num_gpus_ == 0; }
+
+  const LinkClass& between(int a, int b) const {
+    HIOS_CHECK(a >= 0 && a < num_gpus_ && b >= 0 && b < num_gpus_,
+               "Topology::between: bad gpu pair (" << a << "," << b << ")");
+    return pairs_[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_gpus_) +
+                  static_cast<std::size_t>(b)];
+  }
+
+  void set(int a, int b, LinkClass link) {
+    HIOS_CHECK(a >= 0 && a < num_gpus_ && b >= 0 && b < num_gpus_,
+               "Topology::set: bad gpu pair (" << a << "," << b << ")");
+    pairs_[static_cast<std::size_t>(a) * static_cast<std::size_t>(num_gpus_) +
+           static_cast<std::size_t>(b)] = link;
+    pairs_[static_cast<std::size_t>(b) * static_cast<std::size_t>(num_gpus_) +
+           static_cast<std::size_t>(a)] = link;
+  }
+
+  /// Scales a base cross-GPU transfer time for the (a, b) link.
+  double apply(double base_transfer_ms, int a, int b) const {
+    const LinkClass& link = between(a, b);
+    return base_transfer_ms * link.bw_scale + link.extra_latency_ms;
+  }
+
+ private:
+  explicit Topology(int num_gpus)
+      : num_gpus_(num_gpus),
+        pairs_(static_cast<std::size_t>(num_gpus) * static_cast<std::size_t>(num_gpus)) {}
+
+  int num_gpus_ = 0;
+  std::vector<LinkClass> pairs_;
+};
+
+}  // namespace hios::cost

@@ -1,0 +1,36 @@
+#include "graph/dot.h"
+
+#include <array>
+#include <sstream>
+
+namespace hios::graph {
+
+std::string to_dot(const Graph& g, const std::vector<int>& gpu_of) {
+  HIOS_CHECK(gpu_of.empty() || gpu_of.size() == g.num_nodes(),
+             "gpu_of must be empty or have one entry per node");
+  static constexpr std::array<const char*, 8> kPalette = {
+      "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+      "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n  node [shape=box,style=filled];\n";
+  for (NodeId v = 0; v < static_cast<NodeId>(g.num_nodes()); ++v) {
+    os << "  n" << v << " [label=\"" << g.node_name(v) << "\\nt=" << g.node_weight(v)
+       << "\"";
+    if (!gpu_of.empty() && gpu_of[v] >= 0) {
+      os << ",fillcolor=\"" << kPalette[static_cast<std::size_t>(gpu_of[v]) % kPalette.size()]
+         << "\"";
+    } else {
+      os << ",fillcolor=\"#eeeeee\"";
+    }
+    os << "];\n";
+  }
+  for (const Edge& e : g.edges()) {
+    os << "  n" << e.src << " -> n" << e.dst;
+    if (e.weight > 0.0) os << " [label=\"" << e.weight << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace hios::graph

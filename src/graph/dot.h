@@ -1,0 +1,16 @@
+// Graphviz DOT export for computation graphs, optionally coloured by a
+// GPU mapping so schedules can be inspected visually.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hios::graph {
+
+/// Renders the graph in DOT syntax. When `gpu_of` is non-empty it must have
+/// one entry per node; nodes are coloured per GPU.
+std::string to_dot(const Graph& g, const std::vector<int>& gpu_of = {});
+
+}  // namespace hios::graph

@@ -1,0 +1,61 @@
+#include "graph/graph.h"
+
+namespace hios::graph {
+
+NodeId Graph::add_node(std::string name, double weight, int64_t tag) {
+  HIOS_CHECK(weight >= 0.0, "node weight must be >= 0, got " << weight);
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_names_.push_back(std::move(name));
+  node_weights_.push_back(weight);
+  node_tags_.push_back(tag);
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, double weight) {
+  check_node(u);
+  check_node(v);
+  HIOS_CHECK(u != v, "self-loop on node " << u << " ('" << node_names_[u] << "')");
+  HIOS_CHECK(weight >= 0.0, "edge weight must be >= 0, got " << weight);
+  HIOS_CHECK(find_edge(u, v) < 0,
+             "duplicate edge " << node_names_[u] << " -> " << node_names_[v]);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{u, v, weight});
+  out_[u].push_back(id);
+  in_[v].push_back(id);
+  return id;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  check_node(u);
+  check_node(v);
+  for (EdgeId e : out_[u]) {
+    if (edges_[e].dst == v) return e;
+  }
+  return -1;
+}
+
+std::vector<NodeId> Graph::sources() const {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes()); ++v) {
+    if (in_[v].empty()) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<NodeId> Graph::sinks() const {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < static_cast<NodeId>(num_nodes()); ++v) {
+    if (out_[v].empty()) result.push_back(v);
+  }
+  return result;
+}
+
+double Graph::total_node_weight() const {
+  double total = 0.0;
+  for (double w : node_weights_) total += w;
+  return total;
+}
+
+}  // namespace hios::graph

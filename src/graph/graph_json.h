@@ -1,0 +1,23 @@
+// JSON serialization of weighted computation graphs.
+//
+// Profiled graphs (node weights = measured t(v), edge weights = measured
+// t(u,v)) are expensive to produce — the paper's Fig. 14 counts minutes of
+// on-device profiling. Persisting them lets schedules be re-derived
+// offline and random-DAG experiment instances be shared exactly.
+#pragma once
+
+#include "graph/graph.h"
+#include "util/json.h"
+
+namespace hios::graph {
+
+/// {"name": ..., "nodes": [{"name","weight","tag"}...],
+///  "edges": [{"src","dst","weight"}...]}
+Json to_json(const Graph& g);
+
+/// Inverse of to_json. Throws on malformed documents (missing fields,
+/// dangling edge endpoints, negative weights, duplicate edges, cycles are
+/// permitted here — schedulers check acyclicity themselves).
+Graph from_json(const Json& json);
+
+}  // namespace hios::graph

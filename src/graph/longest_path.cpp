@@ -1,0 +1,100 @@
+#include "graph/longest_path.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace hios::graph {
+
+std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled) {
+  const std::size_t n = g.num_nodes();
+  HIOS_CHECK(scheduled.size() == n, "scheduled mask size mismatch");
+  if (scheduled.count() == n) return std::nullopt;
+
+  auto order_opt = topological_sort(g);
+  HIOS_CHECK(order_opt.has_value(), "longest_valid_path: graph has a cycle");
+
+  auto is_scheduled = [&](NodeId v) { return scheduled.test(static_cast<std::size_t>(v)); };
+
+  // dirty(v): v touches a scheduled vertex, so it may only be the first or
+  // last vertex of a chain. Head/tail bonuses are the heaviest boundary edges.
+  std::vector<char> dirty(n, 0);
+  std::vector<double> head_bonus(n, 0.0), tail_bonus(n, 0.0);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    if (is_scheduled(v)) continue;
+    for (EdgeId e : g.in_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (is_scheduled(edge.src)) {
+        dirty[v] = 1;
+        head_bonus[v] = std::max(head_bonus[v], edge.weight);
+      }
+    }
+    for (EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (is_scheduled(edge.dst)) {
+        dirty[v] = 1;
+        tail_bonus[v] = std::max(tail_bonus[v], edge.weight);
+      }
+    }
+  }
+
+  // DP over the topological order:
+  //   start(v) = chain {v} with v as first vertex (head bonus applies),
+  //   full(v)  = best chain ending at v (v may be dirty = last vertex),
+  //   ext(v)   = best chain ending at v that may still be extended:
+  //              equal to full(v) when v is clean, start(v) when dirty
+  //              (a dirty vertex can be extended only as the first vertex).
+  constexpr double kNegInf = -1.0;
+  std::vector<double> full(n, kNegInf), ext(n, kNegInf);
+  std::vector<NodeId> parent(n, kInvalidNode);  // predecessor in full(v)'s chain
+
+  for (NodeId v : *order_opt) {
+    if (is_scheduled(v)) continue;
+    const double start_v = g.node_weight(v) + head_bonus[v];
+    double best = start_v;
+    NodeId best_parent = kInvalidNode;
+    for (EdgeId e : g.in_edges(v)) {
+      const Edge& edge = g.edge(e);
+      const NodeId u = edge.src;
+      if (is_scheduled(u) || ext[u] < 0.0) continue;
+      const double cand = ext[u] + edge.weight + g.node_weight(v);
+      if (cand > best || (cand == best && best_parent != kInvalidNode && u < best_parent)) {
+        best = cand;
+        best_parent = u;
+      }
+    }
+    full[v] = best;
+    parent[v] = best_parent;
+    ext[v] = dirty[v] ? start_v : best;
+  }
+
+  // Pick the best chain ending (tail bonus applies to the last vertex).
+  NodeId best_end = kInvalidNode;
+  double best_len = kNegInf;
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    if (is_scheduled(v) || full[v] < 0.0) continue;
+    const double len = full[v] + tail_bonus[v];
+    if (len > best_len) {
+      best_len = len;
+      best_end = v;
+    }
+  }
+  HIOS_ASSERT(best_end != kInvalidNode, "no unscheduled vertex found");
+
+  ValidPath path;
+  path.length = best_len;
+  // Reconstruct: walk parents; a dirty predecessor was used via start() and
+  // therefore begins the chain.
+  NodeId cur = best_end;
+  path.nodes.push_back(cur);
+  while (parent[cur] != kInvalidNode) {
+    const NodeId prev = parent[cur];
+    path.nodes.push_back(prev);
+    if (dirty[prev]) break;  // ext(prev) == start(prev): chain starts here
+    cur = prev;
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+}  // namespace hios::graph

@@ -1,0 +1,38 @@
+// Longest *valid* path extraction for HIOS-LP (Alg. 1 line 5).
+//
+// A valid path is a chain of unscheduled vertices v_1 -> ... -> v_k (each
+// consecutive pair joined by an edge of G) such that every *intermediate*
+// vertex v_2..v_{k-1} has no edge from/to any already-scheduled vertex.
+// The path length counts:
+//   * node weights t(v_i) for every vertex on the chain,
+//   * edge weights t(v_i, v_{i+1}) along the chain (worst case: adjacent
+//     operators may land on different GPUs before mapping is decided),
+//   * a head bonus: the heaviest edge from a scheduled vertex into v_1
+//     (if any), and symmetrically a tail bonus out of v_k — this is how the
+//     paper's example includes boundary edges e2/e6 in path P2.
+//
+// The paper finds this path in O(V^2 E); we do it with one DP pass over a
+// topological order in O(V + E) per extraction (same result; see DESIGN.md).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/bitset.h"
+
+namespace hios::graph {
+
+/// A valid path and its weighted length.
+struct ValidPath {
+  std::vector<NodeId> nodes;  ///< chain in dependency order
+  double length = 0.0;        ///< node + chain-edge weights + boundary bonuses
+};
+
+/// Finds the longest valid path among unscheduled vertices.
+/// `scheduled` marks vertices already mapped to a GPU (the set G - G').
+/// Returns nullopt when every vertex is scheduled. Deterministic: ties are
+/// broken toward the smaller ending-node id, then smaller predecessor ids.
+std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled);
+
+}  // namespace hios::graph

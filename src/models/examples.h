@@ -1,0 +1,32 @@
+// Small hand-made graphs used in tests, examples, and micro-benchmarks,
+// including the topologies of the paper's worked examples (Fig. 4, Fig. 5)
+// and the single-conv model behind the Fig. 1/2 motivation experiments.
+#pragma once
+
+#include "graph/graph.h"
+#include "ops/model.h"
+
+namespace hios::models {
+
+/// The 8-operator / 9-edge graph of the paper's Fig. 4:
+///   v1->v2->v4->v6->v8 (spine), v1->v3->v5->{v6, v7}, v7->v8.
+/// Node/edge weights default to values making v1-v2-v4-v6-v8 the longest
+/// path; pass custom weights (size 8 / 9, 1-indexed order above) to vary.
+graph::Graph make_fig4_graph(const std::vector<double>& node_weights = {},
+                             const std::vector<double>& edge_weights = {});
+
+/// A straight chain of `n` ops, weight `w` each (edges weight `e`).
+graph::Graph make_chain(int n, double w = 1.0, double e = 0.1);
+
+/// A diamond: src -> {n parallel branches} -> sink.
+graph::Graph make_fork_join(int branches, double branch_weight = 1.0,
+                            double edge_weight = 0.1, double src_sink_weight = 0.5);
+
+/// Two independent chains joined at a final sink (good for 2-GPU splits).
+graph::Graph make_twin_chains(int chain_len, double w = 1.0, double cross_edge = 0.2);
+
+/// The paper's §II-A motivation operator: one 5x5 stride-1 convolution with
+/// 48 input and 48 output channels on an image_hw x image_hw input.
+ops::Model make_single_conv_model(int64_t image_hw, int64_t channels = 48);
+
+}  // namespace hios::models

@@ -1,0 +1,154 @@
+#include "models/inception.h"
+
+#include <algorithm>
+
+namespace hios::models {
+
+namespace {
+
+using ops::Conv2dAttr;
+using ops::Model;
+using ops::Op;
+using ops::OpId;
+using ops::OpKind;
+using ops::Pool2dAttr;
+using ops::PoolMode;
+
+/// Builder helper carrying the model and the width scale.
+struct B {
+  Model model;
+  int64_t scale;
+  int counter = 0;
+
+  explicit B(std::string name, int64_t s) : model(std::move(name)), scale(s) {}
+
+  int64_t ch(int64_t c) const { return std::max<int64_t>(1, c / scale); }
+
+  std::string next(const std::string& base) { return base + "_" + std::to_string(counter++); }
+
+  OpId conv(OpId in, int64_t out_c, int64_t kh, int64_t kw, int64_t sh, int64_t sw,
+            int64_t ph, int64_t pw, const std::string& tag) {
+    return model.add_op(
+        Op(OpKind::kConv2d, next(tag), Conv2dAttr{ch(out_c), kh, kw, sh, sw, ph, pw, 1}),
+        {in});
+  }
+
+  OpId maxpool(OpId in, int64_t k, int64_t s, int64_t p, const std::string& tag) {
+    return model.add_op(Op(OpKind::kPool2d, next(tag),
+                           Pool2dAttr{PoolMode::kMax, k, k, s, s, p, p}),
+                        {in});
+  }
+
+  OpId avgpool(OpId in, int64_t k, int64_t s, int64_t p, const std::string& tag) {
+    return model.add_op(Op(OpKind::kPool2d, next(tag),
+                           Pool2dAttr{PoolMode::kAvg, k, k, s, s, p, p}),
+                        {in});
+  }
+
+  OpId concat(std::vector<OpId> ins, const std::string& tag) {
+    return model.add_op(Op(OpKind::kConcat, next(tag)), std::move(ins));
+  }
+};
+
+OpId inception_a(B& b, OpId x, int64_t pool_features) {
+  const OpId b1 = b.conv(x, 64, 1, 1, 1, 1, 0, 0, "a_b1_1x1");
+  OpId b2 = b.conv(x, 48, 1, 1, 1, 1, 0, 0, "a_b2_1x1");
+  b2 = b.conv(b2, 64, 5, 5, 1, 1, 2, 2, "a_b2_5x5");
+  OpId b3 = b.conv(x, 64, 1, 1, 1, 1, 0, 0, "a_b3_1x1");
+  b3 = b.conv(b3, 96, 3, 3, 1, 1, 1, 1, "a_b3_3x3a");
+  b3 = b.conv(b3, 96, 3, 3, 1, 1, 1, 1, "a_b3_3x3b");
+  OpId b4 = b.avgpool(x, 3, 1, 1, "a_b4_pool");
+  b4 = b.conv(b4, pool_features, 1, 1, 1, 1, 0, 0, "a_b4_1x1");
+  return b.concat({b1, b2, b3, b4}, "a_concat");
+}
+
+OpId inception_b(B& b, OpId x) {
+  const OpId b1 = b.conv(x, 384, 3, 3, 2, 2, 0, 0, "b_b1_3x3");
+  OpId b2 = b.conv(x, 64, 1, 1, 1, 1, 0, 0, "b_b2_1x1");
+  b2 = b.conv(b2, 96, 3, 3, 1, 1, 1, 1, "b_b2_3x3a");
+  b2 = b.conv(b2, 96, 3, 3, 2, 2, 0, 0, "b_b2_3x3b");
+  const OpId b3 = b.maxpool(x, 3, 2, 0, "b_b3_pool");
+  return b.concat({b1, b2, b3}, "b_concat");
+}
+
+OpId inception_c(B& b, OpId x, int64_t c7) {
+  const OpId b1 = b.conv(x, 192, 1, 1, 1, 1, 0, 0, "c_b1_1x1");
+  OpId b2 = b.conv(x, c7, 1, 1, 1, 1, 0, 0, "c_b2_1x1");
+  b2 = b.conv(b2, c7, 1, 7, 1, 1, 0, 3, "c_b2_1x7");
+  b2 = b.conv(b2, 192, 7, 1, 1, 1, 3, 0, "c_b2_7x1");
+  OpId b3 = b.conv(x, c7, 1, 1, 1, 1, 0, 0, "c_b3_1x1");
+  b3 = b.conv(b3, c7, 7, 1, 1, 1, 3, 0, "c_b3_7x1a");
+  b3 = b.conv(b3, c7, 1, 7, 1, 1, 0, 3, "c_b3_1x7a");
+  b3 = b.conv(b3, c7, 7, 1, 1, 1, 3, 0, "c_b3_7x1b");
+  b3 = b.conv(b3, 192, 1, 7, 1, 1, 0, 3, "c_b3_1x7b");
+  OpId b4 = b.avgpool(x, 3, 1, 1, "c_b4_pool");
+  b4 = b.conv(b4, 192, 1, 1, 1, 1, 0, 0, "c_b4_1x1");
+  return b.concat({b1, b2, b3, b4}, "c_concat");
+}
+
+OpId inception_d(B& b, OpId x) {
+  OpId b1 = b.conv(x, 192, 1, 1, 1, 1, 0, 0, "d_b1_1x1");
+  b1 = b.conv(b1, 320, 3, 3, 2, 2, 0, 0, "d_b1_3x3");
+  OpId b2 = b.conv(x, 192, 1, 1, 1, 1, 0, 0, "d_b2_1x1");
+  b2 = b.conv(b2, 192, 1, 7, 1, 1, 0, 3, "d_b2_1x7");
+  b2 = b.conv(b2, 192, 7, 1, 1, 1, 3, 0, "d_b2_7x1");
+  b2 = b.conv(b2, 192, 3, 3, 2, 2, 0, 0, "d_b2_3x3");
+  const OpId b3 = b.maxpool(x, 3, 2, 0, "d_b3_pool");
+  return b.concat({b1, b2, b3}, "d_concat");
+}
+
+OpId inception_e(B& b, OpId x) {
+  const OpId b1 = b.conv(x, 320, 1, 1, 1, 1, 0, 0, "e_b1_1x1");
+  const OpId b2_stem = b.conv(x, 384, 1, 1, 1, 1, 0, 0, "e_b2_1x1");
+  const OpId b2_a = b.conv(b2_stem, 384, 1, 3, 1, 1, 0, 1, "e_b2_1x3");
+  const OpId b2_b = b.conv(b2_stem, 384, 3, 1, 1, 1, 1, 0, "e_b2_3x1");
+  OpId b3 = b.conv(x, 448, 1, 1, 1, 1, 0, 0, "e_b3_1x1");
+  b3 = b.conv(b3, 384, 3, 3, 1, 1, 1, 1, "e_b3_3x3");
+  const OpId b3_a = b.conv(b3, 384, 1, 3, 1, 1, 0, 1, "e_b3_1x3");
+  const OpId b3_b = b.conv(b3, 384, 3, 1, 1, 1, 1, 0, "e_b3_3x1");
+  OpId b4 = b.avgpool(x, 3, 1, 1, "e_b4_pool");
+  b4 = b.conv(b4, 192, 1, 1, 1, 1, 0, 0, "e_b4_1x1");
+  return b.concat({b1, b2_a, b2_b, b3_a, b3_b, b4}, "e_concat");
+}
+
+}  // namespace
+
+ops::Model make_inception_v3(const InceptionV3Options& options) {
+  HIOS_CHECK(options.image_hw >= 75, "Inception-v3 needs image_hw >= 75, got "
+                                         << options.image_hw);
+  HIOS_CHECK(options.channel_scale >= 1, "channel_scale must be >= 1");
+  B b("inception-v3-" + std::to_string(options.image_hw), options.channel_scale);
+
+  const OpId input = b.model.add_input(
+      "image", ops::TensorShape{options.batch, options.in_channels, options.image_hw, options.image_hw});
+
+  // Stem: 7 operators.
+  OpId x = b.conv(input, 32, 3, 3, 2, 2, 0, 0, "stem_conv1");
+  x = b.conv(x, 32, 3, 3, 1, 1, 0, 0, "stem_conv2");
+  x = b.conv(x, 64, 3, 3, 1, 1, 1, 1, "stem_conv3");
+  x = b.maxpool(x, 3, 2, 0, "stem_pool1");
+  x = b.conv(x, 80, 1, 1, 1, 1, 0, 0, "stem_conv4");
+  x = b.conv(x, 192, 3, 3, 1, 1, 0, 0, "stem_conv5");
+  x = b.maxpool(x, 3, 2, 0, "stem_pool2");
+
+  // 3x InceptionA, reduction B, 4x InceptionC, reduction D, 2x InceptionE.
+  x = inception_a(b, x, 32);
+  x = inception_a(b, x, 64);
+  x = inception_a(b, x, 64);
+  x = inception_b(b, x);
+  x = inception_c(b, x, 128);
+  x = inception_c(b, x, 160);
+  x = inception_c(b, x, 160);
+  x = inception_c(b, x, 192);
+  x = inception_d(b, x);
+  x = inception_e(b, x);
+  x = inception_e(b, x);
+
+  x = b.model.add_op(ops::Op(ops::OpKind::kGlobalPool, "global_pool"), {x});
+  if (options.with_classifier) {
+    b.model.add_op(ops::Op(ops::OpKind::kLinear, "fc", ops::LinearAttr{1000}), {x});
+  }
+  return std::move(b.model);
+}
+
+}  // namespace hios::models

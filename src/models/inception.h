@@ -1,0 +1,25 @@
+// Inception-v3 builder (Szegedy et al., CVPR'16) — benchmark model §VI-B.
+//
+// Operator granularity follows the paper / IOS engine: each vertex is a
+// fused Conv+BN+ReLU, a pooling op, a concat, or the final global pool.
+// With the classifier head disabled (default) the graph has exactly
+// 119 operators and 153 inter-operator dependencies — the counts the
+// paper reports.
+#pragma once
+
+#include "ops/model.h"
+
+namespace hios::models {
+
+struct InceptionV3Options {
+  int64_t image_hw = 299;      ///< input height == width (>= 75 required)
+  int64_t in_channels = 3;
+  int64_t batch = 1;      ///< the paper uses batch 1 for lowest latency
+  int64_t channel_scale = 1;   ///< divide all widths by this (tiny test nets)
+  bool with_classifier = false;///< append the fc head (off matches the paper's count)
+};
+
+/// Builds Inception-v3. Throws when image_hw is too small for the stem.
+ops::Model make_inception_v3(const InceptionV3Options& options = {});
+
+}  // namespace hios::models

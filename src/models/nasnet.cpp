@@ -1,0 +1,134 @@
+#include "models/nasnet.h"
+
+#include <algorithm>
+
+namespace hios::models {
+
+namespace {
+
+using ops::Conv2dAttr;
+using ops::Model;
+using ops::Op;
+using ops::OpId;
+using ops::OpKind;
+using ops::Pool2dAttr;
+using ops::PoolMode;
+
+struct B {
+  Model model;
+  int64_t scale;
+  int counter = 0;
+
+  explicit B(std::string name, int64_t s) : model(std::move(name)), scale(s) {}
+
+  int64_t ch(int64_t c) const { return std::max<int64_t>(1, c / scale); }
+  std::string next(const std::string& base) { return base + "_" + std::to_string(counter++); }
+
+  int64_t hw(OpId id) const { return model.output_shape(id).h; }
+
+  OpId conv1x1(OpId in, int64_t out_c, int64_t stride, const std::string& tag) {
+    return model.add_op(Op(OpKind::kConv2d, next(tag),
+                           Conv2dAttr{ch(out_c), 1, 1, stride, stride, 0, 0, 1}),
+                        {in});
+  }
+
+  OpId sep(OpId in, int64_t out_c, int64_t k, int64_t stride, const std::string& tag) {
+    const int64_t pad = (k - 1) / 2;
+    return model.add_op(Op(OpKind::kSepConv2d, next(tag),
+                           Conv2dAttr{ch(out_c), k, k, stride, stride, pad, pad, 1}),
+                        {in});
+  }
+
+  OpId pool(OpId in, PoolMode mode, int64_t k, int64_t stride, const std::string& tag) {
+    const int64_t pad = (k - 1) / 2;
+    return model.add_op(Op(OpKind::kPool2d, next(tag),
+                           Pool2dAttr{mode, k, k, stride, stride, pad, pad}),
+                        {in});
+  }
+
+  OpId add(OpId a, OpId b, const std::string& tag) {
+    return model.add_op(Op(OpKind::kEltwise, next(tag)), {a, b});
+  }
+
+  OpId concat(std::vector<OpId> ins, const std::string& tag) {
+    return model.add_op(Op(OpKind::kConcat, next(tag)), std::move(ins));
+  }
+
+  /// 1x1 squeeze of a cell input to F channels; stride 2 when the source is
+  /// spatially larger than `target_hw` (the skip-path factorized reduce).
+  OpId prep(OpId in, int64_t f, int64_t target_hw, const std::string& tag) {
+    const int64_t stride = hw(in) > target_hw ? 2 : 1;
+    return conv1x1(in, f, stride, tag);
+  }
+};
+
+/// NASNet-A normal cell: 5 add-blocks over prepped inputs p (h_prev), c (h).
+OpId normal_cell(B& b, OpId h_prev, OpId h, int64_t f) {
+  const int64_t target = b.hw(h);
+  const OpId p = b.prep(h_prev, f, target, "n_prep_p");
+  const OpId c = b.prep(h, f, target, "n_prep_c");
+  const OpId a1 = b.add(b.sep(c, f, 3, 1, "n_sep3_c"), c, "n_add1");
+  const OpId a2 = b.add(b.sep(p, f, 3, 1, "n_sep3_p"), b.sep(c, f, 5, 1, "n_sep5_c"), "n_add2");
+  const OpId a3 = b.add(b.pool(c, PoolMode::kAvg, 3, 1, "n_avg_c"), p, "n_add3");
+  const OpId a4 = b.add(b.pool(p, PoolMode::kAvg, 3, 1, "n_avg_p1"),
+                        b.pool(p, PoolMode::kAvg, 3, 1, "n_avg_p2"), "n_add4");
+  const OpId a5 = b.add(b.sep(p, f, 5, 1, "n_sep5_p"), b.sep(p, f, 3, 1, "n_sep3_p2"), "n_add5");
+  return b.concat({a1, a2, a3, a4, a5}, "n_concat");
+}
+
+/// NASNet-A reduction cell (stride 2).
+OpId reduction_cell(B& b, OpId h_prev, OpId h, int64_t f) {
+  const int64_t target = b.hw(h);
+  const OpId p = b.prep(h_prev, f, target, "r_prep_p");
+  const OpId c = b.prep(h, f, target, "r_prep_c");
+  const OpId a1 = b.add(b.sep(p, f, 7, 2, "r_sep7_p1"), b.sep(c, f, 5, 2, "r_sep5_c"), "r_add1");
+  const OpId a2 = b.add(b.pool(c, PoolMode::kMax, 3, 2, "r_max_c1"),
+                        b.sep(p, f, 7, 2, "r_sep7_p2"), "r_add2");
+  const OpId a3 = b.add(b.pool(c, PoolMode::kAvg, 3, 2, "r_avg_c"),
+                        b.sep(p, f, 5, 2, "r_sep5_p"), "r_add3");
+  const OpId a4 = b.add(b.pool(c, PoolMode::kMax, 3, 2, "r_max_c2"),
+                        b.sep(a1, f, 3, 1, "r_sep3_a1"), "r_add4");
+  const OpId a5 = b.add(b.pool(a1, PoolMode::kAvg, 3, 1, "r_avg_a1"), a2, "r_add5");
+  return b.concat({a3, a4, a5}, "r_concat");
+}
+
+}  // namespace
+
+ops::Model make_nasnet(const NasnetOptions& options) {
+  HIOS_CHECK(options.image_hw >= 32, "NASNet needs image_hw >= 32, got " << options.image_hw);
+  HIOS_CHECK(options.cells_per_stack >= 1, "cells_per_stack must be >= 1");
+  HIOS_CHECK(options.channel_scale >= 1, "channel_scale must be >= 1");
+  B b("nasnet-a-" + std::to_string(options.image_hw), options.channel_scale);
+  const int64_t f = options.filters;
+
+  const OpId input = b.model.add_input(
+      "image", ops::TensorShape{options.batch, options.in_channels, options.image_hw, options.image_hw});
+
+  // Stem: 3x3 stride-2 conv then two reduction ("stem") cells.
+  const OpId stem = b.model.add_op(
+      Op(OpKind::kConv2d, "stem_conv", Conv2dAttr{b.ch(96), 3, 3, 2, 2, 1, 1, 1}), {input});
+  const OpId stem1 = reduction_cell(b, stem, stem, f / 2);
+  const OpId stem2 = reduction_cell(b, stem, stem1, f);
+
+  OpId h_prev = stem1;
+  OpId h = stem2;
+  int64_t filters = f;
+  for (int stack = 0; stack < 3; ++stack) {
+    if (stack > 0) {
+      filters *= 2;
+      const OpId r = reduction_cell(b, h_prev, h, filters);
+      h_prev = h;
+      h = r;
+    }
+    for (int cell = 0; cell < options.cells_per_stack; ++cell) {
+      const OpId out = normal_cell(b, h_prev, h, filters);
+      h_prev = h;
+      h = out;
+    }
+  }
+
+  b.model.add_op(Op(OpKind::kGlobalPool, "global_pool"), {h});
+  return std::move(b.model);
+}
+
+}  // namespace hios::models

@@ -1,0 +1,81 @@
+#include "models/random_dag.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hios::models {
+
+graph::Graph random_dag(const RandomDagParams& params) {
+  HIOS_CHECK(params.num_ops >= 1, "num_ops must be >= 1");
+  HIOS_CHECK(params.num_layers >= 1 && params.num_layers <= params.num_ops,
+             "num_layers must be in [1, num_ops]");
+  HIOS_CHECK(params.min_time_ms > 0.0 && params.min_time_ms <= params.max_time_ms,
+             "bad operator time range");
+  Rng rng(params.seed);
+  graph::Graph g("random-dag-" + std::to_string(params.seed));
+
+  // Spread operators over layers: equal base + remainder on random layers.
+  const int n = params.num_ops;
+  const int layers = params.num_layers;
+  std::vector<int> layer_size(static_cast<std::size_t>(layers), n / layers);
+  for (int r = 0; r < n % layers; ++r)
+    ++layer_size[rng.index(static_cast<std::size_t>(layers))];
+
+  std::vector<std::vector<graph::NodeId>> layer_nodes(static_cast<std::size_t>(layers));
+  std::vector<int> layer_of(static_cast<std::size_t>(n));
+  for (int l = 0; l < layers; ++l) {
+    for (int i = 0; i < layer_size[static_cast<std::size_t>(l)]; ++i) {
+      const double t = rng.uniform(params.min_time_ms, params.max_time_ms);
+      const graph::NodeId v =
+          g.add_node("op" + std::to_string(g.num_nodes()) + "_L" + std::to_string(l), t);
+      layer_nodes[static_cast<std::size_t>(l)].push_back(v);
+      layer_of[static_cast<std::size_t>(v)] = l;
+    }
+  }
+
+  auto edge_weight = [&](graph::NodeId u) {
+    return std::max(params.comm_floor_ms, params.comm_ratio * g.node_weight(u));
+  };
+
+  // Structural edges: every node beyond layer 0 depends on one node of the
+  // previous non-empty layer, keeping the DAG connected layer to layer.
+  int prev_nonempty = -1;
+  for (int l = 0; l < layers; ++l) {
+    if (layer_nodes[static_cast<std::size_t>(l)].empty()) continue;
+    if (prev_nonempty >= 0) {
+      const auto& prev = layer_nodes[static_cast<std::size_t>(prev_nonempty)];
+      for (graph::NodeId v : layer_nodes[static_cast<std::size_t>(l)]) {
+        const graph::NodeId u = prev[rng.index(prev.size())];
+        g.add_edge(u, v, edge_weight(u));
+      }
+    }
+    prev_nonempty = l;
+  }
+
+  // Top up to num_deps with random forward edges: mostly adjacent-layer
+  // (local multi-branch structure) with a long-range tail (skip
+  // connections), which couples distant parts of the graph the way
+  // NAS-style models do.
+  const int max_attempts = 50 * params.num_deps + 1000;
+  int attempts = 0;
+  while (static_cast<int>(g.num_edges()) < params.num_deps && attempts++ < max_attempts) {
+    const graph::NodeId u = static_cast<graph::NodeId>(rng.index(static_cast<std::size_t>(n)));
+    const int lu = layer_of[static_cast<std::size_t>(u)];
+    if (lu >= layers - 1) continue;
+    const int gap = rng.flip(0.6)
+                        ? 1
+                        : static_cast<int>(rng.uniform_int(2, layers - 1 - lu < 2
+                                                                  ? 2
+                                                                  : layers - 1 - lu));
+    const int lv = std::min(layers - 1, lu + gap);
+    const auto& pool = layer_nodes[static_cast<std::size_t>(lv)];
+    if (pool.empty()) continue;
+    const graph::NodeId v = pool[rng.index(pool.size())];
+    if (g.find_edge(u, v) >= 0) continue;
+    g.add_edge(u, v, edge_weight(u));
+  }
+  return g;
+}
+
+}  // namespace hios::models

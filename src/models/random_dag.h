@@ -1,0 +1,35 @@
+// Random layered DL-model generator — the simulation workload of §V-A.
+//
+// Generates DAGs with a fixed number of operators arranged into layers
+// (edges only go from earlier to later layers, mostly adjacent), a target
+// dependency count, per-operator execution times uniform in
+// [min_time, max_time] ms, and transfer times t(u,v) = max(floor_ms,
+// comm_ratio * t(u)). Every graph is connected enough to have a single
+// effective critical path structure comparable to multi-branch CNNs.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace hios::models {
+
+/// Parameters mirroring §V-A's defaults.
+struct RandomDagParams {
+  int num_ops = 200;
+  int num_layers = 14;
+  int num_deps = 400;          ///< 2x num_ops by default
+  double min_time_ms = 0.1;
+  double max_time_ms = 4.0;
+  double comm_ratio = 0.8;     ///< p: t(u,v) = max(comm_floor_ms, p * t(u))
+  double comm_floor_ms = 0.1;
+  uint64_t seed = 1;
+};
+
+/// Generates one random model graph. Deterministic in `params.seed`.
+/// Guarantees: acyclic; exactly num_ops nodes; >= num_ops - <layer count>
+/// structural edges topped up to num_deps when possible; every non-first-
+/// layer node has at least one predecessor (no dangling islands).
+graph::Graph random_dag(const RandomDagParams& params);
+
+}  // namespace hios::models

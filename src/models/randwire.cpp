@@ -1,0 +1,102 @@
+#include "models/randwire.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hios::models {
+
+namespace {
+
+using ops::Conv2dAttr;
+using ops::Op;
+using ops::OpId;
+using ops::OpKind;
+
+/// Watts–Strogatz ring with k neighbours and rewiring probability p,
+/// oriented from lower to higher node index (yielding a DAG).
+std::set<std::pair<int, int>> ws_edges(int n, int k, double p, Rng& rng) {
+  std::set<std::pair<int, int>> edges;
+  auto oriented = [](int a, int b) { return a < b ? std::pair{a, b} : std::pair{b, a}; };
+  for (int v = 0; v < n; ++v) {
+    for (int j = 1; j <= k / 2; ++j) {
+      int u = (v + j) % n;
+      if (rng.flip(p)) {
+        // Rewire to a uniformly random distinct partner.
+        int w = v;
+        while (w == v) w = static_cast<int>(rng.index(static_cast<std::size_t>(n)));
+        u = w;
+      }
+      if (u != v) edges.insert(oriented(v, u));
+    }
+  }
+  return edges;
+}
+
+}  // namespace
+
+ops::Model make_randwire(const RandwireOptions& options) {
+  HIOS_CHECK(options.num_nodes >= 2, "randwire needs >= 2 nodes");
+  HIOS_CHECK(options.ws_k >= 2 && options.ws_k % 2 == 0, "ws_k must be even and >= 2");
+  HIOS_CHECK(options.ws_p >= 0.0 && options.ws_p <= 1.0, "ws_p must be in [0,1]");
+  HIOS_CHECK(options.channel_scale >= 1, "channel_scale must be >= 1");
+  Rng rng(options.seed);
+  ops::Model model("randwire-" + std::to_string(options.seed));
+  const int64_t c = std::max<int64_t>(1, options.channels / options.channel_scale);
+
+  const OpId input = model.add_input(
+      "image", ops::TensorShape{options.batch, options.in_channels, options.image_hw, options.image_hw});
+  // Stem halves resolution twice so the node convs run at a moderate size.
+  OpId stem = model.add_op(
+      Op(OpKind::kConv2d, "stem_conv1", Conv2dAttr{c / 2 > 0 ? c / 2 : 1, 3, 3, 2, 2, 1, 1, 1}),
+      {input});
+  stem = model.add_op(Op(OpKind::kConv2d, "stem_conv2", Conv2dAttr{c, 3, 3, 2, 2, 1, 1, 1}),
+                      {stem});
+
+  const auto edges = ws_edges(options.num_nodes, options.ws_k, options.ws_p, rng);
+  std::vector<std::vector<int>> preds(static_cast<std::size_t>(options.num_nodes));
+  for (const auto& [u, v] : edges) preds[static_cast<std::size_t>(v)].push_back(u);
+
+  std::vector<OpId> node_out(static_cast<std::size_t>(options.num_nodes));
+  std::vector<OpId> consumed_flags(static_cast<std::size_t>(options.num_nodes), 0);
+  for (int v = 0; v < options.num_nodes; ++v) {
+    // Aggregate inputs: stem for sourceless nodes, Eltwise-add tree else.
+    OpId agg;
+    const auto& in_nodes = preds[static_cast<std::size_t>(v)];
+    if (in_nodes.empty()) {
+      agg = stem;
+    } else {
+      agg = node_out[static_cast<std::size_t>(in_nodes[0])];
+      consumed_flags[static_cast<std::size_t>(in_nodes[0])] = 1;
+      for (std::size_t i = 1; i < in_nodes.size(); ++i) {
+        consumed_flags[static_cast<std::size_t>(in_nodes[i])] = 1;
+        agg = model.add_op(
+            Op(OpKind::kEltwise, "agg" + std::to_string(v) + "_" + std::to_string(i)),
+            {agg, node_out[static_cast<std::size_t>(in_nodes[i])]});
+      }
+    }
+    node_out[static_cast<std::size_t>(v)] =
+        model.add_op(Op(OpKind::kSepConv2d, "node" + std::to_string(v),
+                        Conv2dAttr{c, 3, 3, 1, 1, 1, 1, 1}),
+                     {agg});
+  }
+
+  // Unconsumed node outputs feed the output aggregation (as in the paper).
+  std::vector<OpId> tails;
+  for (int v = 0; v < options.num_nodes; ++v) {
+    if (!consumed_flags[static_cast<std::size_t>(v)])
+      tails.push_back(node_out[static_cast<std::size_t>(v)]);
+  }
+  HIOS_ASSERT(!tails.empty(), "randwire produced no sink nodes");
+  OpId out = tails[0];
+  for (std::size_t i = 1; i < tails.size(); ++i) {
+    out = model.add_op(Op(OpKind::kEltwise, "tail_agg" + std::to_string(i)),
+                       {out, tails[i]});
+  }
+  model.add_op(Op(OpKind::kGlobalPool, "global_pool"), {out});
+  return model;
+}
+
+}  // namespace hios::models

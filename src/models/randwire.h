@@ -1,0 +1,30 @@
+// Randomly-wired network builder (Xie et al., ICCV'19) — the IOS paper's
+// fourth benchmark family. A Watts–Strogatz small-world graph is sampled,
+// oriented by node index, and each node becomes a separable-conv operator;
+// multi-input nodes sum their inputs with Eltwise adds. Unlike random_dag
+// (which produces a weighted scheduling graph directly), this produces a
+// real executable ops::Model, so the virtual-GPU engine can run it.
+#pragma once
+
+#include <cstdint>
+
+#include "ops/model.h"
+
+namespace hios::models {
+
+struct RandwireOptions {
+  int64_t image_hw = 224;
+  int64_t in_channels = 3;
+  int64_t batch = 1;      ///< the paper uses batch 1 for lowest latency
+  int64_t channels = 78;      ///< per-node channel width (the paper's small regime)
+  int num_nodes = 32;         ///< WS graph nodes per stage
+  int ws_k = 4;               ///< ring neighbours (even)
+  double ws_p = 0.75;         ///< rewiring probability
+  uint64_t seed = 1;
+  int64_t channel_scale = 1;
+};
+
+/// Builds a single-stage randomly-wired CNN. Deterministic in `seed`.
+ops::Model make_randwire(const RandwireOptions& options = {});
+
+}  // namespace hios::models

@@ -1,0 +1,75 @@
+#include "models/resnet.h"
+
+#include <algorithm>
+
+namespace hios::models {
+
+namespace {
+
+using ops::Conv2dAttr;
+using ops::Model;
+using ops::Op;
+using ops::OpId;
+using ops::OpKind;
+using ops::Pool2dAttr;
+using ops::PoolMode;
+
+struct B {
+  Model model;
+  int64_t scale;
+  int counter = 0;
+
+  explicit B(std::string name, int64_t s) : model(std::move(name)), scale(s) {}
+  int64_t ch(int64_t c) const { return std::max<int64_t>(1, c / scale); }
+  std::string next(const std::string& base) { return base + "_" + std::to_string(counter++); }
+
+  OpId conv(OpId in, int64_t out_c, int64_t k, int64_t stride, const std::string& tag) {
+    const int64_t pad = (k - 1) / 2;
+    return model.add_op(Op(OpKind::kConv2d, next(tag),
+                           Conv2dAttr{ch(out_c), k, k, stride, stride, pad, pad, 1}),
+                        {in});
+  }
+};
+
+/// Bottleneck block: 1x1 reduce, 3x3, 1x1 expand, residual add.
+/// `stride` > 1 or a channel change adds a projection conv on the skip.
+OpId bottleneck(B& b, OpId x, int64_t mid_c, int64_t out_c, int64_t stride) {
+  OpId y = b.conv(x, mid_c, 1, 1, "bn_reduce");
+  y = b.conv(y, mid_c, 3, stride, "bn_conv3");
+  y = b.conv(y, out_c, 1, 1, "bn_expand");
+  OpId skip = x;
+  if (stride != 1 || b.model.output_shape(x).c != b.model.output_shape(y).c) {
+    skip = b.conv(x, out_c, 1, stride, "bn_proj");
+  }
+  return b.model.add_op(Op(OpKind::kEltwise, b.next("bn_add")), {y, skip});
+}
+
+}  // namespace
+
+ops::Model make_resnet50(const ResnetOptions& options) {
+  HIOS_CHECK(options.image_hw >= 64, "ResNet-50 needs image_hw >= 64, got " << options.image_hw);
+  HIOS_CHECK(options.channel_scale >= 1, "channel_scale must be >= 1");
+  B b("resnet50-" + std::to_string(options.image_hw), options.channel_scale);
+
+  const OpId input = b.model.add_input(
+      "image", ops::TensorShape{options.batch, options.in_channels, options.image_hw, options.image_hw});
+  OpId x = b.conv(input, 64, 7, 2, "stem_conv");
+  x = b.model.add_op(Op(OpKind::kPool2d, "stem_pool",
+                        Pool2dAttr{PoolMode::kMax, 3, 3, 2, 2, 1, 1}),
+                     {x});
+
+  const int blocks[4] = {3, 4, 6, 3};
+  int64_t mid = 64;
+  for (int stage = 0; stage < 4; ++stage) {
+    const int64_t out = mid * 4;
+    for (int block = 0; block < blocks[stage]; ++block) {
+      const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      x = bottleneck(b, x, mid, out, stride);
+    }
+    mid *= 2;
+  }
+  b.model.add_op(Op(OpKind::kGlobalPool, "global_pool"), {x});
+  return std::move(b.model);
+}
+
+}  // namespace hios::models

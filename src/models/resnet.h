@@ -1,0 +1,23 @@
+// ResNet-50 builder (He et al., CVPR'16).
+//
+// Not evaluated in the HIOS paper but part of the IOS ecosystem the paper
+// builds on; its residual (Eltwise-add) topology stresses a different
+// dependency pattern than Inception's concats: long skip edges that the
+// longest-valid-path constraint must respect.
+#pragma once
+
+#include "ops/model.h"
+
+namespace hios::models {
+
+struct ResnetOptions {
+  int64_t image_hw = 224;
+  int64_t in_channels = 3;
+  int64_t batch = 1;      ///< the paper uses batch 1 for lowest latency
+  int64_t channel_scale = 1;  ///< divide widths by this (tiny test nets)
+};
+
+/// Builds ResNet-50 (71 compute operators at conv+bn+relu granularity).
+ops::Model make_resnet50(const ResnetOptions& options = {});
+
+}  // namespace hios::models

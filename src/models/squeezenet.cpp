@@ -1,0 +1,74 @@
+#include "models/squeezenet.h"
+
+#include <algorithm>
+
+namespace hios::models {
+
+namespace {
+
+using ops::Conv2dAttr;
+using ops::Model;
+using ops::Op;
+using ops::OpId;
+using ops::OpKind;
+using ops::Pool2dAttr;
+using ops::PoolMode;
+
+struct B {
+  Model model;
+  int64_t scale;
+  int counter = 0;
+
+  explicit B(std::string name, int64_t s) : model(std::move(name)), scale(s) {}
+  int64_t ch(int64_t c) const { return std::max<int64_t>(1, c / scale); }
+  std::string next(const std::string& base) { return base + "_" + std::to_string(counter++); }
+
+  OpId conv(OpId in, int64_t out_c, int64_t k, int64_t stride, int64_t pad,
+            const std::string& tag) {
+    return model.add_op(Op(OpKind::kConv2d, next(tag),
+                           Conv2dAttr{ch(out_c), k, k, stride, stride, pad, pad, 1}),
+                        {in});
+  }
+
+  OpId maxpool(OpId in, const std::string& tag) {
+    return model.add_op(Op(OpKind::kPool2d, next(tag),
+                           Pool2dAttr{PoolMode::kMax, 3, 3, 2, 2, 0, 0}),
+                        {in});
+  }
+};
+
+OpId fire(B& b, OpId x, int64_t squeeze_c, int64_t expand_c) {
+  const OpId s = b.conv(x, squeeze_c, 1, 1, 0, "fire_squeeze");
+  const OpId e1 = b.conv(s, expand_c, 1, 1, 0, "fire_expand1x1");
+  const OpId e3 = b.conv(s, expand_c, 3, 1, 1, "fire_expand3x3");
+  return b.model.add_op(Op(OpKind::kConcat, b.next("fire_concat")), {e1, e3});
+}
+
+}  // namespace
+
+ops::Model make_squeezenet(const SqueezenetOptions& options) {
+  HIOS_CHECK(options.image_hw >= 48, "SqueezeNet needs image_hw >= 48, got "
+                                         << options.image_hw);
+  HIOS_CHECK(options.channel_scale >= 1, "channel_scale must be >= 1");
+  B b("squeezenet-" + std::to_string(options.image_hw), options.channel_scale);
+
+  const OpId input = b.model.add_input(
+      "image", ops::TensorShape{options.batch, options.in_channels, options.image_hw, options.image_hw});
+  OpId x = b.conv(input, 64, 3, 2, 0, "stem_conv");
+  x = b.maxpool(x, "pool1");
+  x = fire(b, x, 16, 64);
+  x = fire(b, x, 16, 64);
+  x = b.maxpool(x, "pool2");
+  x = fire(b, x, 32, 128);
+  x = fire(b, x, 32, 128);
+  x = b.maxpool(x, "pool3");
+  x = fire(b, x, 48, 192);
+  x = fire(b, x, 48, 192);
+  x = fire(b, x, 64, 256);
+  x = fire(b, x, 64, 256);
+  x = b.conv(x, 1000, 1, 1, 0, "classifier_conv");
+  b.model.add_op(Op(OpKind::kGlobalPool, "global_pool"), {x});
+  return std::move(b.model);
+}
+
+}  // namespace hios::models

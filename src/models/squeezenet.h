@@ -1,0 +1,21 @@
+// SqueezeNet v1.1 builder (Iandola et al., 2016) — the IOS paper's third
+// benchmark. Fire modules (squeeze 1x1 -> parallel expand 1x1 / 3x3 ->
+// concat) provide many *small* parallel operators: the regime where
+// intra-GPU grouping (Alg. 2) shines and inter-GPU transfers rarely pay.
+#pragma once
+
+#include "ops/model.h"
+
+namespace hios::models {
+
+struct SqueezenetOptions {
+  int64_t image_hw = 224;
+  int64_t in_channels = 3;
+  int64_t batch = 1;      ///< the paper uses batch 1 for lowest latency
+  int64_t channel_scale = 1;
+};
+
+/// Builds SqueezeNet v1.1 (39 compute operators).
+ops::Model make_squeezenet(const SqueezenetOptions& options = {});
+
+}  // namespace hios::models

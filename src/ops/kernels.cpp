@@ -1,0 +1,201 @@
+#include "ops/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/rng.h"
+
+namespace hios::ops {
+
+std::vector<float> make_weights(uint64_t seed, std::size_t count) {
+  Rng rng(seed ^ 0xc2b2ae3d27d4eb4fULL);
+  std::vector<float> w(count);
+  // Small magnitudes keep deep compositions numerically stable.
+  for (auto& value : w) value = static_cast<float>(rng.uniform(-0.05, 0.05));
+  return w;
+}
+
+namespace {
+
+std::vector<TensorShape> shapes_of(const std::vector<const Tensor*>& inputs) {
+  std::vector<TensorShape> shapes;
+  shapes.reserve(inputs.size());
+  for (const Tensor* t : inputs) shapes.push_back(t->shape());
+  return shapes;
+}
+
+float relu(float x) { return x > 0.0f ? x : 0.0f; }
+
+Tensor conv2d(const Op& op, const Tensor& in, uint64_t seed) {
+  const Conv2dAttr& a = op.conv_attr();
+  const TensorShape is = in.shape();
+  Tensor out(op.infer_output({is}));
+  const TensorShape os = out.shape();
+  const int64_t in_cg = is.c / a.groups;
+  const int64_t out_cg = os.c / a.groups;
+  const std::size_t w_count = static_cast<std::size_t>(os.c * in_cg * a.kh * a.kw);
+  const std::vector<float> weights = make_weights(seed, w_count + static_cast<std::size_t>(os.c));
+  const float* filter = weights.data();
+  const float* bias = weights.data() + w_count;
+  for (int64_t n = 0; n < os.n; ++n)
+    for (int64_t oc = 0; oc < os.c; ++oc) {
+      const int64_t group = oc / out_cg;
+      for (int64_t oh = 0; oh < os.h; ++oh)
+        for (int64_t ow = 0; ow < os.w; ++ow) {
+          float acc = bias[oc];
+          for (int64_t ic = 0; ic < in_cg; ++ic) {
+            const int64_t in_c = group * in_cg + ic;
+            for (int64_t kh = 0; kh < a.kh; ++kh) {
+              const int64_t ih = oh * a.sh + kh - a.ph;
+              if (ih < 0 || ih >= is.h) continue;
+              for (int64_t kw = 0; kw < a.kw; ++kw) {
+                const int64_t iw = ow * a.sw + kw - a.pw;
+                if (iw < 0 || iw >= is.w) continue;
+                acc += in.at(n, in_c, ih, iw) *
+                       filter[((oc * in_cg + ic) * a.kh + kh) * a.kw + kw];
+              }
+            }
+          }
+          out.at(n, oc, oh, ow) = relu(acc);
+        }
+    }
+  return out;
+}
+
+Tensor sep_conv2d(const Op& op, const Tensor& in, uint64_t seed) {
+  // Depthwise kxk (grouped conv with groups == channels) then pointwise 1x1.
+  const Conv2dAttr& a = op.conv_attr();
+  Op depthwise(OpKind::kConv2d, op.name() + ".dw",
+               Conv2dAttr{in.shape().c, a.kh, a.kw, a.sh, a.sw, a.ph, a.pw, in.shape().c});
+  Tensor mid = conv2d(depthwise, in, seed);
+  Op pointwise(OpKind::kConv2d, op.name() + ".pw",
+               Conv2dAttr{a.out_channels, 1, 1, 1, 1, 0, 0, 1});
+  return conv2d(pointwise, mid, seed ^ 0x9e3779b97f4a7c15ULL);
+}
+
+Tensor pool2d(const Op& op, const Tensor& in) {
+  const Pool2dAttr& a = op.pool_attr();
+  const TensorShape is = in.shape();
+  Tensor out(op.infer_output({is}));
+  const TensorShape os = out.shape();
+  for (int64_t n = 0; n < os.n; ++n)
+    for (int64_t c = 0; c < os.c; ++c)
+      for (int64_t oh = 0; oh < os.h; ++oh)
+        for (int64_t ow = 0; ow < os.w; ++ow) {
+          float acc = a.mode == PoolMode::kMax ? -std::numeric_limits<float>::infinity() : 0.0f;
+          int64_t hits = 0;
+          for (int64_t kh = 0; kh < a.kh; ++kh) {
+            const int64_t ih = oh * a.sh + kh - a.ph;
+            if (ih < 0 || ih >= is.h) continue;
+            for (int64_t kw = 0; kw < a.kw; ++kw) {
+              const int64_t iw = ow * a.sw + kw - a.pw;
+              if (iw < 0 || iw >= is.w) continue;
+              const float v = in.at(n, c, ih, iw);
+              if (a.mode == PoolMode::kMax) {
+                acc = std::max(acc, v);
+              } else {
+                acc += v;
+              }
+              ++hits;
+            }
+          }
+          out.at(n, c, oh, ow) =
+              a.mode == PoolMode::kMax ? acc : (hits ? acc / static_cast<float>(hits) : 0.0f);
+        }
+  return out;
+}
+
+Tensor global_pool(const Op& op, const Tensor& in) {
+  Tensor out(op.infer_output({in.shape()}));
+  const TensorShape is = in.shape();
+  for (int64_t n = 0; n < is.n; ++n)
+    for (int64_t c = 0; c < is.c; ++c) {
+      float acc = 0.0f;
+      for (int64_t h = 0; h < is.h; ++h)
+        for (int64_t w = 0; w < is.w; ++w) acc += in.at(n, c, h, w);
+      out.at(n, c, 0, 0) = acc / static_cast<float>(is.h * is.w);
+    }
+  return out;
+}
+
+Tensor linear(const Op& op, const Tensor& in, uint64_t seed) {
+  const LinearAttr& a = op.linear_attr();
+  const int64_t in_features = in.shape().c * in.shape().h * in.shape().w;
+  Tensor out(op.infer_output({in.shape()}));
+  const std::size_t w_count = static_cast<std::size_t>(in_features * a.out_features);
+  const std::vector<float> weights =
+      make_weights(seed, w_count + static_cast<std::size_t>(a.out_features));
+  for (int64_t n = 0; n < in.shape().n; ++n)
+    for (int64_t o = 0; o < a.out_features; ++o) {
+      float acc = weights[w_count + static_cast<std::size_t>(o)];
+      for (int64_t i = 0; i < in_features; ++i)
+        acc += in.data()[n * in_features + i] * weights[static_cast<std::size_t>(o * in_features + i)];
+      out.at(n, o, 0, 0) = acc;
+    }
+  return out;
+}
+
+Tensor concat(const Op& op, const std::vector<const Tensor*>& inputs) {
+  std::vector<TensorShape> shapes = shapes_of(inputs);
+  Tensor out(op.infer_output(shapes));
+  const TensorShape os = out.shape();
+  for (int64_t n = 0; n < os.n; ++n) {
+    int64_t c_off = 0;
+    for (const Tensor* t : inputs) {
+      const TensorShape is = t->shape();
+      for (int64_t c = 0; c < is.c; ++c)
+        for (int64_t h = 0; h < is.h; ++h)
+          for (int64_t w = 0; w < is.w; ++w)
+            out.at(n, c_off + c, h, w) = t->at(n, c, h, w);
+      c_off += is.c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor execute_op(const Op& op, const std::vector<const Tensor*>& inputs,
+                  uint64_t weight_seed) {
+  switch (op.kind()) {
+    case OpKind::kInput:
+      throw Error("execute_op: input placeholders are not executable");
+    case OpKind::kConv2d:
+      HIOS_CHECK(inputs.size() == 1, "conv2d arity");
+      return conv2d(op, *inputs[0], weight_seed);
+    case OpKind::kSepConv2d:
+      HIOS_CHECK(inputs.size() == 1, "sep_conv2d arity");
+      return sep_conv2d(op, *inputs[0], weight_seed);
+    case OpKind::kPool2d:
+      HIOS_CHECK(inputs.size() == 1, "pool2d arity");
+      return pool2d(op, *inputs[0]);
+    case OpKind::kGlobalPool:
+      HIOS_CHECK(inputs.size() == 1, "global_pool arity");
+      return global_pool(op, *inputs[0]);
+    case OpKind::kLinear:
+      HIOS_CHECK(inputs.size() == 1, "linear arity");
+      return linear(op, *inputs[0], weight_seed);
+    case OpKind::kConcat:
+      return concat(op, inputs);
+    case OpKind::kEltwise: {
+      HIOS_CHECK(inputs.size() == 2, "eltwise arity");
+      Tensor out(*inputs[0]);
+      const Tensor& rhs = *inputs[1];
+      for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] += rhs.data()[i];
+      return out;
+    }
+    case OpKind::kActivation: {
+      HIOS_CHECK(inputs.size() == 1, "relu arity");
+      Tensor out(*inputs[0]);
+      for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = relu(out.data()[i]);
+      return out;
+    }
+    case OpKind::kIdentity:
+      HIOS_CHECK(inputs.size() == 1, "identity arity");
+      return *inputs[0];
+  }
+  throw Error("unreachable op kind");
+}
+
+}  // namespace hios::ops

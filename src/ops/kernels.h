@@ -1,0 +1,27 @@
+// Naive CPU reference kernels — the functional substitute for cuDNN.
+//
+// The runtime executes these to prove that a schedule computes exactly the
+// same tensors as sequential execution (the timing comes from the cost
+// model / virtual clock, not from these kernels). Weights are generated
+// deterministically from a per-op seed so no checkpoint files are needed
+// and every executor sees identical parameters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ops/op.h"
+#include "ops/tensor.h"
+
+namespace hios::ops {
+
+/// Deterministic pseudo-random weights for op `seed` (same everywhere).
+std::vector<float> make_weights(uint64_t seed, std::size_t count);
+
+/// Executes one operator on its input tensors. `weight_seed` selects the
+/// deterministic parameters (conv filters, linear weights). Input ops are
+/// not executable (throws).
+Tensor execute_op(const Op& op, const std::vector<const Tensor*>& inputs,
+                  uint64_t weight_seed);
+
+}  // namespace hios::ops

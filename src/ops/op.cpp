@@ -1,0 +1,173 @@
+#include "ops/op.h"
+
+namespace hios::ops {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kInput: return "input";
+    case OpKind::kConv2d: return "conv2d";
+    case OpKind::kSepConv2d: return "sep_conv2d";
+    case OpKind::kPool2d: return "pool2d";
+    case OpKind::kGlobalPool: return "global_pool";
+    case OpKind::kLinear: return "linear";
+    case OpKind::kConcat: return "concat";
+    case OpKind::kEltwise: return "eltwise_add";
+    case OpKind::kActivation: return "relu";
+    case OpKind::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+int64_t conv_out_dim(int64_t x, int64_t k, int64_t s, int64_t p) {
+  const int64_t out = (x + 2 * p - k) / s + 1;
+  HIOS_CHECK(out > 0, "conv/pool window larger than padded input: x=" << x << " k=" << k
+                          << " s=" << s << " p=" << p);
+  return out;
+}
+
+const Conv2dAttr& Op::conv_attr() const {
+  HIOS_CHECK(std::holds_alternative<Conv2dAttr>(attr_), "op '" << name_ << "' has no conv attr");
+  return std::get<Conv2dAttr>(attr_);
+}
+
+const Pool2dAttr& Op::pool_attr() const {
+  HIOS_CHECK(std::holds_alternative<Pool2dAttr>(attr_), "op '" << name_ << "' has no pool attr");
+  return std::get<Pool2dAttr>(attr_);
+}
+
+const LinearAttr& Op::linear_attr() const {
+  HIOS_CHECK(std::holds_alternative<LinearAttr>(attr_), "op '" << name_ << "' has no linear attr");
+  return std::get<LinearAttr>(attr_);
+}
+
+TensorShape Op::infer_output(const std::vector<TensorShape>& in) const {
+  auto require_arity = [&](std::size_t arity) {
+    HIOS_CHECK(in.size() == arity, "op '" << name_ << "' (" << op_kind_name(kind_)
+                                          << ") expects " << arity << " inputs, got "
+                                          << in.size());
+  };
+  switch (kind_) {
+    case OpKind::kInput:
+      HIOS_CHECK(in.empty(), "input op takes no inputs");
+      return TensorShape{};  // replaced by Model with the declared shape
+    case OpKind::kConv2d: {
+      require_arity(1);
+      const auto& a = conv_attr();
+      HIOS_CHECK(a.out_channels > 0, "conv '" << name_ << "': out_channels must be > 0");
+      HIOS_CHECK(a.groups > 0 && in[0].c % a.groups == 0,
+                 "conv '" << name_ << "': channels " << in[0].c
+                          << " not divisible by groups " << a.groups);
+      HIOS_CHECK(a.out_channels % a.groups == 0,
+                 "conv '" << name_ << "': out_channels not divisible by groups");
+      return TensorShape{in[0].n, a.out_channels, conv_out_dim(in[0].h, a.kh, a.sh, a.ph),
+                         conv_out_dim(in[0].w, a.kw, a.sw, a.pw)};
+    }
+    case OpKind::kSepConv2d: {
+      require_arity(1);
+      const auto& a = conv_attr();
+      HIOS_CHECK(a.out_channels > 0, "sep_conv '" << name_ << "': out_channels must be > 0");
+      return TensorShape{in[0].n, a.out_channels, conv_out_dim(in[0].h, a.kh, a.sh, a.ph),
+                         conv_out_dim(in[0].w, a.kw, a.sw, a.pw)};
+    }
+    case OpKind::kPool2d: {
+      require_arity(1);
+      const auto& a = pool_attr();
+      return TensorShape{in[0].n, in[0].c, conv_out_dim(in[0].h, a.kh, a.sh, a.ph),
+                         conv_out_dim(in[0].w, a.kw, a.sw, a.pw)};
+    }
+    case OpKind::kGlobalPool:
+      require_arity(1);
+      return TensorShape{in[0].n, in[0].c, 1, 1};
+    case OpKind::kLinear: {
+      require_arity(1);
+      const auto& a = linear_attr();
+      HIOS_CHECK(a.out_features > 0, "linear '" << name_ << "': out_features must be > 0");
+      return TensorShape{in[0].n, a.out_features, 1, 1};
+    }
+    case OpKind::kConcat: {
+      HIOS_CHECK(!in.empty(), "concat '" << name_ << "' needs >= 1 input");
+      TensorShape out = in[0];
+      for (std::size_t i = 1; i < in.size(); ++i) {
+        HIOS_CHECK(in[i].n == out.n && in[i].h == out.h && in[i].w == out.w,
+                   "concat '" << name_ << "': spatial mismatch " << in[i].to_string()
+                              << " vs " << out.to_string());
+        out.c += in[i].c;
+      }
+      return out;
+    }
+    case OpKind::kEltwise: {
+      require_arity(2);
+      HIOS_CHECK(in[0] == in[1], "eltwise '" << name_ << "': shape mismatch "
+                                             << in[0].to_string() << " vs "
+                                             << in[1].to_string());
+      return in[0];
+    }
+    case OpKind::kActivation:
+    case OpKind::kIdentity:
+      require_arity(1);
+      return in[0];
+  }
+  throw Error("unreachable op kind");
+}
+
+int64_t Op::flops(const std::vector<TensorShape>& in) const {
+  const TensorShape out = infer_output(in);
+  switch (kind_) {
+    case OpKind::kInput:
+      return 0;
+    case OpKind::kConv2d: {
+      const auto& a = conv_attr();
+      const int64_t in_c_per_group = in[0].c / a.groups;
+      // 2 * MACs + epsilon for bias/ReLU fusion.
+      return 2 * out.elements() * in_c_per_group * a.kh * a.kw + 2 * out.elements();
+    }
+    case OpKind::kSepConv2d: {
+      const auto& a = conv_attr();
+      const int64_t depthwise = 2 * in[0].n * in[0].c * out.h * out.w * a.kh * a.kw;
+      const int64_t pointwise = 2 * out.elements() * in[0].c;
+      return depthwise + pointwise + 2 * out.elements();
+    }
+    case OpKind::kPool2d: {
+      const auto& a = pool_attr();
+      return out.elements() * a.kh * a.kw;
+    }
+    case OpKind::kGlobalPool:
+      return in[0].elements();
+    case OpKind::kLinear:
+      return 2 * in[0].n * in[0].c * linear_attr().out_features;
+    case OpKind::kConcat:
+      return out.elements();  // memory movement, ~1 op/element equivalent
+    case OpKind::kEltwise:
+    case OpKind::kActivation:
+      return out.elements();
+    case OpKind::kIdentity:
+      return 0;
+  }
+  throw Error("unreachable op kind");
+}
+
+int64_t Op::param_count(const std::vector<TensorShape>& in) const {
+  switch (kind_) {
+    case OpKind::kConv2d: {
+      const auto& a = conv_attr();
+      return a.out_channels * (in[0].c / a.groups) * a.kh * a.kw + a.out_channels;
+    }
+    case OpKind::kSepConv2d: {
+      const auto& a = conv_attr();
+      return in[0].c * a.kh * a.kw + a.out_channels * in[0].c + a.out_channels;
+    }
+    case OpKind::kLinear:
+      return (in[0].c + 1) * linear_attr().out_features;
+    default:
+      return 0;
+  }
+}
+
+int64_t Op::memory_bytes(const std::vector<TensorShape>& in) const {
+  int64_t bytes = infer_output(in).bytes() +
+                  param_count(in) * static_cast<int64_t>(sizeof(float));
+  for (const auto& shape : in) bytes += shape.bytes();
+  return bytes;
+}
+
+}  // namespace hios::ops

@@ -1,0 +1,91 @@
+// Operator taxonomy with shape inference and FLOP / byte accounting.
+//
+// These are the vertex types of the computation graph: the scheduler never
+// executes them directly — it consumes t(v) produced by the cost model from
+// the flops/bytes computed here; the runtime executes the reference kernels.
+// Convolutions are treated as Conv+BN+ReLU fused (as in the IOS engine).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "ops/tensor.h"
+
+namespace hios::ops {
+
+enum class OpKind {
+  kInput,      ///< model input placeholder (no compute)
+  kConv2d,     ///< fused conv(+bias+ReLU); supports grouped convolution
+  kSepConv2d,  ///< depthwise-separable conv (depthwise kxk then pointwise 1x1)
+  kPool2d,     ///< max or average pooling
+  kGlobalPool, ///< global average pooling to 1x1
+  kLinear,     ///< fully connected
+  kConcat,     ///< channel concatenation of >= 1 inputs
+  kEltwise,    ///< elementwise add of 2 inputs
+  kActivation, ///< elementwise ReLU
+  kIdentity,   ///< passthrough (used by NAS cells)
+};
+
+const char* op_kind_name(OpKind kind);
+
+struct Conv2dAttr {
+  int64_t out_channels = 0;
+  int64_t kh = 1, kw = 1;
+  int64_t sh = 1, sw = 1;
+  int64_t ph = 0, pw = 0;
+  int64_t groups = 1;
+};
+
+enum class PoolMode { kMax, kAvg };
+
+struct Pool2dAttr {
+  PoolMode mode = PoolMode::kMax;
+  int64_t kh = 2, kw = 2;
+  int64_t sh = 2, sw = 2;
+  int64_t ph = 0, pw = 0;
+};
+
+struct LinearAttr {
+  int64_t out_features = 0;
+};
+
+using OpAttr = std::variant<std::monostate, Conv2dAttr, Pool2dAttr, LinearAttr>;
+
+/// A single operator instance: kind + attributes + resolved shapes.
+class Op {
+ public:
+  Op() = default;
+  Op(OpKind kind, std::string name, OpAttr attr = std::monostate{})
+      : kind_(kind), name_(std::move(name)), attr_(std::move(attr)) {}
+
+  OpKind kind() const { return kind_; }
+  const std::string& name() const { return name_; }
+
+  const Conv2dAttr& conv_attr() const;
+  const Pool2dAttr& pool_attr() const;
+  const LinearAttr& linear_attr() const;
+
+  /// Infers the output shape from input shapes; validates arity and dims.
+  TensorShape infer_output(const std::vector<TensorShape>& inputs) const;
+
+  /// Multiply-accumulate-style floating point operations for one forward pass.
+  int64_t flops(const std::vector<TensorShape>& inputs) const;
+
+  /// Learnable parameter count (weights + bias).
+  int64_t param_count(const std::vector<TensorShape>& inputs) const;
+
+  /// Total bytes touched: inputs + output + parameters (for roofline costing).
+  int64_t memory_bytes(const std::vector<TensorShape>& inputs) const;
+
+ private:
+  OpKind kind_ = OpKind::kIdentity;
+  std::string name_;
+  OpAttr attr_;
+};
+
+/// Output spatial size of a conv/pool window: floor((x + 2p - k)/s) + 1.
+int64_t conv_out_dim(int64_t x, int64_t k, int64_t s, int64_t p);
+
+}  // namespace hios::ops

@@ -1,0 +1,49 @@
+// Blocking point-to-point channel — the CUDA-aware-MPI stand-in.
+//
+// Each cross-GPU tensor dependency gets its own single-producer /
+// single-consumer channel, mirroring matched MPI_Send/MPI_Recv pairs keyed
+// by (edge) tag. Unbounded buffering: a send never blocks (like a buffered
+// eager-protocol MPI send for small control messages), a receive blocks
+// until the matching message arrives.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace hios::runtime {
+
+/// Unbounded thread-safe FIFO channel.
+template <typename T>
+class Channel {
+ public:
+  void send(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push_back(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until a message is available.
+  T recv() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return !queue_.empty(); });
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    return value;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.empty();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+};
+
+}  // namespace hios::runtime

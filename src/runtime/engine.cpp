@@ -1,0 +1,189 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "ops/kernels.h"
+#include "runtime/channel.h"
+#include "sched/validate.h"
+#include "util/rng.h"
+
+namespace hios::runtime {
+
+namespace {
+
+/// A tensor in flight between vGPUs, stamped with its virtual arrival time
+/// (producer stage finish + modelled transfer).
+struct Message {
+  std::shared_ptr<const ops::Tensor> tensor;
+  double ready_ms = 0.0;
+};
+
+}  // namespace
+
+ops::Tensor make_input_tensor(const ops::Model& model, ops::OpId input_id) {
+  HIOS_CHECK(model.is_input(input_id), "op " << input_id << " is not a model input");
+  ops::Tensor tensor(model.output_shape(input_id));
+  Rng rng(0x5eedULL + static_cast<uint64_t>(input_id));
+  for (std::size_t i = 0; i < tensor.size(); ++i)
+    tensor.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return tensor;
+}
+
+std::map<ops::OpId, ops::Tensor> execute_reference(
+    const ops::Model& model, const std::map<ops::OpId, ops::Tensor>& inputs) {
+  std::map<ops::OpId, ops::Tensor> results;
+  // Model op ids are already topologically ordered (inputs precede users).
+  for (ops::OpId id = 0; id < model.num_ops(); ++id) {
+    if (model.is_input(id)) {
+      auto it = inputs.find(id);
+      results.emplace(id, it != inputs.end() ? it->second : make_input_tensor(model, id));
+      continue;
+    }
+    std::vector<const ops::Tensor*> in_tensors;
+    for (ops::OpId in : model.inputs(id)) in_tensors.push_back(&results.at(in));
+    results.emplace(id, ops::execute_op(model.op(id), in_tensors,
+                                        static_cast<uint64_t>(id)));
+  }
+  // Drop the input placeholders from the returned map.
+  for (ops::OpId in : model.input_ids()) results.erase(in);
+  return results;
+}
+
+ExecutionResult execute_schedule(const ops::Model& model, const graph::Graph& graph,
+                                 const sched::Schedule& schedule,
+                                 const cost::CostModel& cost,
+                                 const std::map<ops::OpId, ops::Tensor>& inputs) {
+  sched::check_schedule(graph, schedule);
+  const std::size_t n = graph.num_nodes();
+  const std::vector<int> gpu_of = schedule.gpu_assignment(n);
+
+  // node <-> op id maps (graph node tags index into the model).
+  std::vector<ops::OpId> op_of(n);
+  std::unordered_map<ops::OpId, graph::NodeId> node_of;
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(n); ++v) {
+    op_of[static_cast<std::size_t>(v)] = static_cast<ops::OpId>(graph.node_tag(v));
+    HIOS_CHECK(op_of[static_cast<std::size_t>(v)] >= 0 &&
+                   op_of[static_cast<std::size_t>(v)] < model.num_ops(),
+               "graph node " << v << " has no valid model op tag");
+    node_of[op_of[static_cast<std::size_t>(v)]] = v;
+  }
+
+  // Shared read-only model inputs.
+  std::map<ops::OpId, std::shared_ptr<const ops::Tensor>> shared_inputs;
+  for (ops::OpId in : model.input_ids()) {
+    auto it = inputs.find(in);
+    shared_inputs[in] = std::make_shared<const ops::Tensor>(
+        it != inputs.end() ? it->second : make_input_tensor(model, in));
+  }
+
+  // One channel per cross-GPU edge (matched MPI send/recv pairs).
+  std::unordered_map<graph::EdgeId, std::unique_ptr<Channel<Message>>> channels;
+  for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(graph.num_edges()); ++e) {
+    const graph::Edge& edge = graph.edge(e);
+    if (gpu_of[static_cast<std::size_t>(edge.src)] != gpu_of[static_cast<std::size_t>(edge.dst)])
+      channels.emplace(e, std::make_unique<Channel<Message>>());
+  }
+
+  struct WorkerOutput {
+    double makespan = 0.0;
+    std::vector<sim::TimelineEvent> events;
+    std::map<ops::OpId, ops::Tensor> sink_outputs;
+    std::exception_ptr error;
+  };
+  std::vector<WorkerOutput> worker_out(static_cast<std::size_t>(schedule.num_gpus));
+
+  auto worker = [&](int me) {
+    WorkerOutput& out = worker_out[static_cast<std::size_t>(me)];
+    try {
+      std::unordered_map<graph::NodeId, std::shared_ptr<const ops::Tensor>> local;
+      std::unordered_map<graph::NodeId, double> local_ready;  // producer stage finish
+      double clock = 0.0;
+      const auto& stages = schedule.gpus[static_cast<std::size_t>(me)];
+      for (std::size_t si = 0; si < stages.size(); ++si) {
+        const sched::Stage& stage = stages[si];
+        double start = clock;
+        // Gather every remote dependency of this stage (blocking recv per
+        // edge) and fold local producers' stage-finish times.
+        for (graph::NodeId v : stage.ops) {
+          for (graph::EdgeId e : graph.in_edges(v)) {
+            const graph::Edge& edge = graph.edge(e);
+            if (gpu_of[static_cast<std::size_t>(edge.src)] == me) {
+              start = std::max(start, local_ready.at(edge.src));
+            } else {
+              Message msg = channels.at(e)->recv();
+              start = std::max(start, msg.ready_ms);
+              local[edge.src] = std::move(msg.tensor);  // cache for this consumer
+            }
+          }
+        }
+        // Execute the stage's ops on real tensors.
+        for (graph::NodeId v : stage.ops) {
+          const ops::OpId op_id = op_of[static_cast<std::size_t>(v)];
+          std::vector<const ops::Tensor*> in_tensors;
+          for (ops::OpId in : model.inputs(op_id)) {
+            if (model.is_input(in)) {
+              in_tensors.push_back(shared_inputs.at(in).get());
+            } else {
+              in_tensors.push_back(local.at(node_of.at(in)).get());
+            }
+          }
+          local[v] = std::make_shared<const ops::Tensor>(
+              ops::execute_op(model.op(op_id), in_tensors, static_cast<uint64_t>(op_id)));
+        }
+        const double finish =
+            start + cost.stage_time_on(graph, std::span<const graph::NodeId>(stage.ops), me);
+        clock = finish;
+        for (graph::NodeId v : stage.ops) {
+          local_ready[v] = finish;
+          out.events.push_back(sim::TimelineEvent{sim::TimelineEvent::Kind::kCompute,
+                                                  graph.node_name(v), me, -1,
+                                                  static_cast<int>(si), start, finish});
+          // Forward to remote consumers; collect sink outputs.
+          for (graph::EdgeId e : graph.out_edges(v)) {
+            const graph::Edge& edge = graph.edge(e);
+            const int dst_gpu = gpu_of[static_cast<std::size_t>(edge.dst)];
+            if (dst_gpu != me) {
+              const double transfer = cost.transfer_time(graph, e, me, dst_gpu);
+              channels.at(e)->send(Message{local.at(v), finish + transfer});
+              out.events.push_back(sim::TimelineEvent{
+                  sim::TimelineEvent::Kind::kTransfer,
+                  graph.node_name(v) + "->" + graph.node_name(edge.dst), me, dst_gpu, -1,
+                  finish, finish + transfer});
+            }
+          }
+          if (graph.out_degree(v) == 0) {
+            out.sink_outputs.emplace(op_of[static_cast<std::size_t>(v)], *local.at(v));
+          }
+        }
+      }
+      out.makespan = clock;
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(schedule.num_gpus));
+  for (int i = 0; i < schedule.num_gpus; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  for (const auto& out : worker_out) {
+    if (out.error) std::rethrow_exception(out.error);
+  }
+
+  ExecutionResult result;
+  result.timeline.num_gpus = schedule.num_gpus;
+  for (auto& out : worker_out) {
+    result.latency_ms = std::max(result.latency_ms, out.makespan);
+    for (auto& ev : out.events) result.timeline.events.push_back(std::move(ev));
+    for (auto& [op_id, tensor] : out.sink_outputs) result.outputs.emplace(op_id, tensor);
+  }
+  result.timeline.latency_ms = result.latency_ms;
+  return result;
+}
+
+}  // namespace hios::runtime

@@ -1,0 +1,52 @@
+// Virtual-GPU execution engine — the functional substitute for the paper's
+// cuDNN + CUDA-aware-MPI engine (§VI-A).
+//
+// One worker thread per virtual GPU executes its stage list in order,
+// computing real tensors with the CPU reference kernels. Cross-GPU tensor
+// dependencies travel over per-edge blocking channels, exactly like the
+// matched MPI send/recv pairs in the paper's engine. Time is *virtual*:
+// each message carries the producing stage's finish time plus the modelled
+// transfer time, and each vGPU advances a local clock using the same cost
+// model the scheduler optimised against. The result is deterministic
+// regardless of thread interleaving and provably equal to the stage-level
+// simulator — while the tensors prove the schedule computes exactly what
+// sequential execution computes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "ops/model.h"
+#include "sched/schedule.h"
+#include "sim/timeline.h"
+
+namespace hios::runtime {
+
+/// Result of one engine run.
+struct ExecutionResult {
+  double latency_ms = 0.0;                    ///< virtual-clock makespan
+  std::map<ops::OpId, ops::Tensor> outputs;   ///< tensors of graph sink ops
+  sim::Timeline timeline;                     ///< per-stage compute + transfers
+};
+
+/// Executes `schedule` (over the profiled `graph`, whose node tags index
+/// into `model`) with one thread per virtual GPU. `inputs` supplies a
+/// tensor per model input (by op id); missing inputs are filled with
+/// deterministic pseudo-random data.
+/// Throws on invalid schedules (validated up front).
+ExecutionResult execute_schedule(const ops::Model& model, const graph::Graph& graph,
+                                 const sched::Schedule& schedule,
+                                 const cost::CostModel& cost,
+                                 const std::map<ops::OpId, ops::Tensor>& inputs = {});
+
+/// Sequential reference execution of the whole model on one "GPU".
+/// Returns every compute op's output tensor (keyed by op id).
+std::map<ops::OpId, ops::Tensor> execute_reference(
+    const ops::Model& model, const std::map<ops::OpId, ops::Tensor>& inputs = {});
+
+/// Deterministic input tensor for a model input op (same everywhere).
+ops::Tensor make_input_tensor(const ops::Model& model, ops::OpId input_id);
+
+}  // namespace hios::runtime

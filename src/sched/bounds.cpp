@@ -1,0 +1,31 @@
+#include "sched/bounds.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace hios::sched {
+
+LatencyBounds latency_lower_bounds(const graph::Graph& g, const cost::CostModel& cost,
+                                   int num_gpus) {
+  HIOS_CHECK(num_gpus >= 1, "need >= 1 GPU");
+  LatencyBounds bounds;
+
+  double fastest = 1.0;
+  double total_speed = static_cast<double>(num_gpus);
+  if (!cost.speed_factors().empty()) {
+    fastest = 0.0;
+    total_speed = 0.0;
+    for (int gpu = 0; gpu < num_gpus; ++gpu) {
+      fastest = std::max(fastest, cost.speed(gpu));
+      total_speed += cost.speed(gpu);
+    }
+  }
+
+  bounds.critical_path_ms = graph::critical_path_length(g, false) / fastest;
+  bounds.area_ms = g.total_node_weight() / total_speed;
+  bounds.combined_ms = std::max(bounds.critical_path_ms, bounds.area_ms);
+  return bounds;
+}
+
+}  // namespace hios::sched

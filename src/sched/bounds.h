@@ -1,0 +1,31 @@
+// Lower bounds on achievable inference latency.
+//
+// Schedulers can only be judged against what is achievable: the paper
+// compares algorithms to each other, but a user also wants to know how
+// far HIOS-LP sits from optimal. Two classical bounds apply to the §III-B
+// problem (both ignore t(S) contention, so they hold for every feasible
+// schedule):
+//   * critical path: the longest node-weight chain must execute serially
+//     somewhere (co-located, so edge weights don't count);
+//   * area: total work divided by the aggregate speed of the M GPUs.
+// The reported bound is their maximum.
+#pragma once
+
+#include "cost/cost_model.h"
+#include "graph/graph.h"
+
+namespace hios::sched {
+
+struct LatencyBounds {
+  double critical_path_ms = 0.0;
+  double area_ms = 0.0;
+  double combined_ms = 0.0;  ///< max of the two
+};
+
+/// Lower bounds for `g` on `num_gpus` devices. With heterogeneous speed
+/// factors installed on `cost`, the area bound divides by the total speed
+/// and the critical path assumes the fastest GPU.
+LatencyBounds latency_lower_bounds(const graph::Graph& g, const cost::CostModel& cost,
+                                   int num_gpus);
+
+}  // namespace hios::sched

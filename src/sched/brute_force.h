@@ -1,0 +1,22 @@
+// Exhaustive-search oracles for tests (exponential — tiny graphs only).
+#pragma once
+
+#include "cost/cost_model.h"
+#include "sched/schedule.h"
+
+namespace hios::sched {
+
+/// Exact minimum single-GPU latency over all stage partitions with at most
+/// `max_stage_ops` ops per stage (memoized recursion over down-sets).
+/// Oracle for IOS. Throws when the graph has more than 24 nodes.
+double optimal_single_gpu_latency(const graph::Graph& g, const cost::CostModel& cost,
+                                  int max_stage_ops);
+
+/// Exact minimum latency over all GPU mappings x per-GPU operator orders
+/// with singleton stages (no intra-GPU grouping). Oracle for the inter-GPU
+/// halves of HIOS-LP / HIOS-MR. Throws when the graph has more than 8
+/// nodes (the search is M^n times products of permutations).
+double optimal_inter_gpu_latency(const graph::Graph& g, const cost::CostModel& cost,
+                                 int num_gpus);
+
+}  // namespace hios::sched

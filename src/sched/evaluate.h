@@ -1,0 +1,50 @@
+// Stage-level schedule evaluator (§III-A semantics).
+//
+// Computes the start/finish time of every stage under the paper's model:
+//   * stages on one GPU execute in listed order,
+//   * a stage starts once its GPU is free AND every producing stage has
+//     finished (+ t(u,v) when producer and consumer are on different GPUs),
+//   * a stage runs for t(S) from the cost model.
+// The evaluator is the schedulers' inner-loop objective, so it is a single
+// O(V + E + S) pass over the stage DAG. Infeasible schedules (dependency
+// cycles through the per-GPU execution order) are detected and reported.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "sched/schedule.h"
+
+namespace hios::sched {
+
+/// Timing of one evaluated stage.
+struct StageTiming {
+  int gpu = 0;
+  int index = 0;       ///< position in the GPU's stage list
+  double start = 0.0;  ///< ms
+  double finish = 0.0; ///< ms
+};
+
+/// Full evaluation result.
+struct Evaluation {
+  double latency_ms = 0.0;
+  std::vector<StageTiming> stages;      ///< flattened, in evaluation order
+  std::vector<int> stage_of;            ///< node -> flattened stage index (-1 if absent)
+};
+
+/// Evaluates `schedule` for graph `g` with cost model `cost`.
+/// Returns nullopt when the schedule deadlocks (cycle between stage
+/// dependencies and per-GPU execution order). Ops absent from the schedule
+/// are not allowed (throws) — use partial graphs instead.
+std::optional<Evaluation> evaluate_schedule(const graph::Graph& g, const Schedule& schedule,
+                                            const cost::CostModel& cost);
+
+/// Like evaluate_schedule but over the subset of nodes present in the
+/// schedule; edges to/from unscheduled nodes are ignored. Used by HIOS-LP
+/// while the mapping is still partial.
+std::optional<Evaluation> evaluate_partial_schedule(const graph::Graph& g,
+                                                    const Schedule& schedule,
+                                                    const cost::CostModel& cost);
+
+}  // namespace hios::sched

@@ -1,0 +1,71 @@
+#include "sched/hios_lp.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "graph/algorithms.h"
+#include "graph/longest_path.h"
+#include "sched/evaluate.h"
+#include "sched/list_schedule.h"
+#include "sched/parallelize.h"
+#include "util/bitset.h"
+
+namespace hios::sched {
+
+ScheduleResult HiosLpScheduler::schedule(const graph::Graph& g, const cost::CostModel& cost,
+                                         const SchedulerConfig& config) const {
+  HIOS_CHECK(config.num_gpus >= 1, "HIOS-LP needs >= 1 GPU");
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t n = g.num_nodes();
+  const int m = config.num_gpus;
+
+  // Priority indicators on the original graph G, fixed for the whole run.
+  const std::vector<double> priority = graph::priority_indicators(g);
+  const std::vector<graph::NodeId> order = graph::priority_order(g, priority);
+
+  std::vector<int> mapping(n, -1);
+  DynBitset scheduled(n);
+
+  while (scheduled.count() < n) {
+    auto path = graph::longest_valid_path(g, scheduled);
+    HIOS_ASSERT(path.has_value(), "unscheduled vertices remain but no path found");
+    for (graph::NodeId v : path->nodes) {
+      HIOS_ASSERT(!scheduled.test(static_cast<std::size_t>(v)), "path revisits node " << v);
+      scheduled.set(static_cast<std::size_t>(v));
+    }
+    // Try the path on every GPU; keep the one minimising the latency of the
+    // list schedule over all mapped operators (Alg. 1 lines 7-16).
+    double best_latency = std::numeric_limits<double>::infinity();
+    int best_gpu = 0;
+    for (int gpu = 0; gpu < m; ++gpu) {
+      for (graph::NodeId v : path->nodes) mapping[static_cast<std::size_t>(v)] = gpu;
+      const ListScheduleResult trial = list_schedule(g, mapping, order, m, cost);
+      if (trial.latency_ms < best_latency) {
+        best_latency = trial.latency_ms;
+        best_gpu = gpu;
+      }
+    }
+    for (graph::NodeId v : path->nodes) mapping[static_cast<std::size_t>(v)] = best_gpu;
+  }
+
+  ListScheduleResult placed = list_schedule(g, mapping, order, m, cost);
+  ScheduleResult result;
+  result.algorithm = name();
+  if (apply_intra_ && config.apply_intra) {
+    ParallelizeResult intra = parallelize(g, std::move(placed.schedule), cost,
+                                          std::min(config.window, config.max_streams));
+    result.schedule = std::move(intra.schedule);
+    result.latency_ms = intra.latency_ms;
+  } else {
+    auto eval = evaluate_schedule(g, placed.schedule, cost);
+    HIOS_ASSERT(eval.has_value(), "list schedule cannot deadlock");
+    result.schedule = std::move(placed.schedule);
+    result.latency_ms = eval->latency_ms;
+  }
+  result.scheduling_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace hios::sched

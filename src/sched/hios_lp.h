@@ -1,0 +1,27 @@
+// HIOS-LP — Alg. 1: longest-path-based inter-GPU operator scheduling,
+// optionally followed by Alg. 2 (intra-GPU parallelization).
+//
+// Iteratively extracts the longest valid path from the unscheduled part of
+// the graph, tries mapping the whole path onto each GPU, scores each try
+// with the priority-order list scheduler over all mapped operators, and
+// commits the best GPU. See graph/longest_path.h for path semantics.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hios::sched {
+
+class HiosLpScheduler final : public Scheduler {
+ public:
+  /// `apply_intra=false` yields the "inter-GPU w/ LP" ablation.
+  explicit HiosLpScheduler(bool apply_intra = true) : apply_intra_(apply_intra) {}
+
+  std::string name() const override { return apply_intra_ ? "hios-lp" : "inter-lp"; }
+  ScheduleResult schedule(const graph::Graph& g, const cost::CostModel& cost,
+                          const SchedulerConfig& config) const override;
+
+ private:
+  bool apply_intra_;
+};
+
+}  // namespace hios::sched

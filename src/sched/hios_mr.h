@@ -1,0 +1,29 @@
+// HIOS-MR — Alg. 3: mapping-recording-based inter-GPU operator scheduling,
+// optionally followed by Alg. 2.
+//
+// Operators are visited in descending priority order. An n x M table
+// records, for each operator v_i and GPU j, the earliest finish time
+// t_{i,j} of v_i on GPU j together with the GPU g_{i,j} that v_{i-1}
+// occupied in the recorded schedule achieving it. Candidate schedules are
+// reconstructed by backtracking through the table (Lines 8-19) and the
+// best chain is extracted from argmin_j t_{n,j}.
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hios::sched {
+
+class HiosMrScheduler final : public Scheduler {
+ public:
+  /// `apply_intra=false` yields the "inter-GPU w/ MR" ablation.
+  explicit HiosMrScheduler(bool apply_intra = true) : apply_intra_(apply_intra) {}
+
+  std::string name() const override { return apply_intra_ ? "hios-mr" : "inter-mr"; }
+  ScheduleResult schedule(const graph::Graph& g, const cost::CostModel& cost,
+                          const SchedulerConfig& config) const override;
+
+ private:
+  bool apply_intra_;
+};
+
+}  // namespace hios::sched

@@ -1,0 +1,26 @@
+// IOS (Ding et al., MLSys'21) — single-GPU inter-operator scheduler.
+//
+// Dynamic programming over down-sets of the computation graph: a state is
+// the set of already-executed operators; a transition appends one stage,
+// i.e. an independent subset of the ready frontier, costing t(S). IOS is
+// exponential in the worst case; like the original, we bound the search
+// with pruning: stage candidates come from the top `frontier_cap` ready
+// ops (by priority), stages hold at most `max_stage_ops` ops, and at most
+// `beam_width` states per down-set size are expanded. With all three
+// bounds relaxed the DP is exact (used as the single-GPU oracle in tests).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hios::sched {
+
+class IosScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "ios"; }
+  /// Always schedules onto one GPU (config.num_gpus is ignored), matching
+  /// how the paper uses IOS as the single-GPU state of the art.
+  ScheduleResult schedule(const graph::Graph& g, const cost::CostModel& cost,
+                          const SchedulerConfig& config) const override;
+};
+
+}  // namespace hios::sched

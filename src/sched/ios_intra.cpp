@@ -1,0 +1,119 @@
+#include "sched/ios_intra.h"
+
+#include <chrono>
+
+#include "sched/evaluate.h"
+#include "sched/hios_lp.h"
+#include "sched/ios.h"
+
+namespace hios::sched {
+
+namespace {
+
+/// Adapter evaluating a *local induced subgraph*'s stages against the
+/// original cost model by translating node ids back to the global graph.
+class RemappedCost final : public cost::CostModel {
+ public:
+  RemappedCost(const cost::CostModel& inner, const graph::Graph& global,
+               std::vector<graph::NodeId> to_global)
+      : inner_(inner), global_(global), to_global_(std::move(to_global)) {}
+
+  double stage_time(const graph::Graph& local,
+                    std::span<const graph::NodeId> stage) const override {
+    (void)local;
+    std::vector<graph::NodeId> global_ids;
+    global_ids.reserve(stage.size());
+    for (graph::NodeId v : stage) global_ids.push_back(to_global_[static_cast<std::size_t>(v)]);
+    return inner_.stage_time(global_, global_ids);
+  }
+
+  double demand(const graph::Graph& local, graph::NodeId v) const override {
+    (void)local;
+    return inner_.demand(global_, to_global_[static_cast<std::size_t>(v)]);
+  }
+
+ private:
+  const cost::CostModel& inner_;
+  const graph::Graph& global_;
+  std::vector<graph::NodeId> to_global_;
+};
+
+}  // namespace
+
+ScheduleResult ios_intra_pass(const graph::Graph& g, const Schedule& schedule,
+                              const cost::CostModel& cost, const SchedulerConfig& config) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto base_eval = evaluate_schedule(g, schedule, cost);
+  HIOS_CHECK(base_eval.has_value(), "ios_intra_pass: input schedule deadlocks");
+
+  Schedule best = schedule;
+  double best_latency = base_eval->latency_ms;
+  const std::vector<int> gpu_of = schedule.gpu_assignment(g.num_nodes());
+
+  IosScheduler ios;
+  for (int gpu = 0; gpu < schedule.num_gpus; ++gpu) {
+    // Collect this GPU's ops (stage order) and build the induced subgraph.
+    std::vector<graph::NodeId> to_global;
+    for (const Stage& stage : best.gpus[static_cast<std::size_t>(gpu)])
+      for (graph::NodeId v : stage.ops) to_global.push_back(v);
+    if (to_global.size() < 2) continue;
+
+    std::vector<graph::NodeId> to_local(g.num_nodes(), graph::kInvalidNode);
+    graph::Graph local("gpu" + std::to_string(gpu));
+    for (std::size_t i = 0; i < to_global.size(); ++i) {
+      const graph::NodeId v = to_global[i];
+      to_local[static_cast<std::size_t>(v)] = local.add_node(g.node_name(v), g.node_weight(v));
+    }
+    for (const graph::Edge& e : g.edges()) {
+      const graph::NodeId lu = to_local[static_cast<std::size_t>(e.src)];
+      const graph::NodeId lv = to_local[static_cast<std::size_t>(e.dst)];
+      if (lu != graph::kInvalidNode && lv != graph::kInvalidNode) local.add_edge(lu, lv, 0.0);
+    }
+
+    // IOS sees only the local dependencies — exactly the paper's critique.
+    const RemappedCost local_cost(cost, g, to_global);
+    const ScheduleResult local_result = ios.schedule(local, local_cost, config);
+
+    Schedule candidate = best;
+    auto& stages = candidate.gpus[static_cast<std::size_t>(gpu)];
+    stages.clear();
+    for (const Stage& stage : local_result.schedule.gpus[0]) {
+      Stage remapped;
+      for (graph::NodeId lv : stage.ops)
+        remapped.ops.push_back(to_global[static_cast<std::size_t>(lv)]);
+      stages.push_back(std::move(remapped));
+    }
+    // The local DP may have reordered ops in a way that deadlocks against
+    // cross-GPU dependencies, or may simply be worse globally: keep only
+    // strict improvements.
+    if (auto eval = evaluate_schedule(g, candidate, cost);
+        eval.has_value() && eval->latency_ms < best_latency) {
+      best = std::move(candidate);
+      best_latency = eval->latency_ms;
+    }
+  }
+
+  ScheduleResult result;
+  result.schedule = std::move(best);
+  result.latency_ms = best_latency;
+  result.algorithm = "ios-intra";
+  result.scheduling_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+ScheduleResult HiosLpIosIntraScheduler::schedule(const graph::Graph& g,
+                                                 const cost::CostModel& cost,
+                                                 const SchedulerConfig& config) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  SchedulerConfig inter_only = config;
+  inter_only.apply_intra = false;
+  const ScheduleResult inter = HiosLpScheduler(false).schedule(g, cost, inter_only);
+  ScheduleResult result = ios_intra_pass(g, inter.schedule, cost, config);
+  result.algorithm = name();
+  result.scheduling_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace hios::sched

@@ -1,0 +1,42 @@
+// Intra-GPU inter-operator parallelization — Alg. 2 of the paper.
+//
+// Given a schedule with inter-operator parallelism across GPUs and
+// sequential execution inside each GPU, slide a window of up to `w`
+// consecutive operators (in descending priority order) along each GPU's
+// stage list. When the windowed operators are mutually independent and
+// merging them into one concurrently-executing stage keeps the condensed
+// graph acyclic AND lowers the evaluated latency, commit the merge.
+//
+// Interpretation notes (documented deviations — see DESIGN.md §5):
+//  * The paper's pseudocode assigns G = G' before the latency test; its
+//    prose and worked example only keep improving merges, which is what we
+//    implement (commit on L' < L only).
+//  * Windows advance over *stages*: once ops are grouped the group acts as
+//    one unit, and a window never splits an existing group. The total op
+//    count of a candidate stage is capped at `w`.
+//  * Independence is checked with full reachability on the current merged
+//    graph, which subsumes the paper's cycle test (merging pairwise
+//    order-independent nodes cannot create a cycle); the evaluator still
+//    guards against execution-order deadlocks.
+#pragma once
+
+#include "cost/cost_model.h"
+#include "sched/schedule.h"
+
+namespace hios::sched {
+
+/// Outcome of the parallelize pass.
+struct ParallelizeResult {
+  Schedule schedule;
+  double latency_ms = 0.0;
+  int merges_accepted = 0;
+  int candidates_tried = 0;
+};
+
+/// Runs Alg. 2. `schedule` must be valid for `g`; `window` is the maximum
+/// number of ops per merged stage (w >= 2 enables merging; w < 2 is a
+/// no-op that just evaluates the input).
+ParallelizeResult parallelize(const graph::Graph& g, Schedule schedule,
+                              const cost::CostModel& cost, int window);
+
+}  // namespace hios::sched

@@ -1,0 +1,31 @@
+#include "sched/scheduler.h"
+
+#include "sched/hios_lp.h"
+#include "sched/hios_mr.h"
+#include "sched/ios.h"
+#include "sched/ios_intra.h"
+#include "sched/sequential.h"
+#include "util/error.h"
+
+namespace hios::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "sequential") return std::make_unique<SequentialScheduler>();
+  if (name == "ios") return std::make_unique<IosScheduler>();
+  if (name == "hios-lp") return std::make_unique<HiosLpScheduler>(true);
+  if (name == "hios-mr") return std::make_unique<HiosMrScheduler>(true);
+  if (name == "inter-lp") return std::make_unique<HiosLpScheduler>(false);
+  if (name == "inter-mr") return std::make_unique<HiosMrScheduler>(false);
+  // Ablation scheduler (not one of the paper's six): IOS as the intra-GPU
+  // pass, testing the §IV-B claim that it is costly and suboptimal.
+  if (name == "hios-lp-iosintra") return std::make_unique<HiosLpIosIntraScheduler>();
+  throw Error("unknown scheduler '" + name +
+              "' (expected sequential|ios|hios-lp|hios-mr|inter-lp|inter-mr|"
+              "hios-lp-iosintra)");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"sequential", "ios", "hios-lp", "hios-mr", "inter-lp", "inter-mr"};
+}
+
+}  // namespace hios::sched

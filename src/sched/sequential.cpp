@@ -1,0 +1,33 @@
+#include "sched/sequential.h"
+
+#include <chrono>
+
+#include "graph/algorithms.h"
+#include "sched/evaluate.h"
+
+namespace hios::sched {
+
+ScheduleResult sequential_core(const graph::Graph& g, const cost::CostModel& cost) {
+  Schedule schedule(1);
+  for (graph::NodeId v : graph::priority_order(g)) schedule.push_op(0, v);
+  auto eval = evaluate_schedule(g, schedule, cost);
+  HIOS_ASSERT(eval.has_value(), "sequential schedule cannot deadlock");
+  ScheduleResult result;
+  result.schedule = std::move(schedule);
+  result.latency_ms = eval->latency_ms;
+  result.algorithm = "sequential";
+  return result;
+}
+
+ScheduleResult SequentialScheduler::schedule(const graph::Graph& g,
+                                             const cost::CostModel& cost,
+                                             const SchedulerConfig& config) const {
+  (void)config;
+  const auto t0 = std::chrono::steady_clock::now();
+  ScheduleResult result = sequential_core(g, cost);
+  result.scheduling_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  return result;
+}
+
+}  // namespace hios::sched

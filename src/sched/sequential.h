@@ -1,0 +1,16 @@
+// Sequential baseline: every operator on one GPU, one per stage, in
+// topological (descending-priority) order. Latency = sum of t(v).
+#pragma once
+
+#include "sched/scheduler.h"
+
+namespace hios::sched {
+
+class SequentialScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "sequential"; }
+  ScheduleResult schedule(const graph::Graph& g, const cost::CostModel& cost,
+                          const SchedulerConfig& config) const override;
+};
+
+}  // namespace hios::sched

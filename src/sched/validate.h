@@ -1,0 +1,23 @@
+// Schedule validation — the invariants every scheduler must satisfy:
+//   1. every graph node appears in exactly one stage;
+//   2. each stage's ops are pairwise independent (no dependency path);
+//   3. the stage DAG (data deps + per-GPU execution order) is acyclic,
+//      i.e. the schedule is deadlock-free / evaluable;
+//   4. GPU indices are within [0, num_gpus).
+// Used by tests and by the runtime before executing a schedule.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace hios::sched {
+
+/// Returns a list of human-readable violations; empty means valid.
+std::vector<std::string> validate_schedule(const graph::Graph& g, const Schedule& schedule);
+
+/// Throws hios::Error listing all violations when the schedule is invalid.
+void check_schedule(const graph::Graph& g, const Schedule& schedule);
+
+}  // namespace hios::sched

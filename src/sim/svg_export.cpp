@@ -1,0 +1,94 @@
+#include "sim/svg_export.h"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hios::sim {
+
+namespace {
+
+std::string escape_xml(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_svg(const Timeline& timeline, const SvgOptions& options) {
+  HIOS_CHECK(options.width_px >= 200, "SVG width too small");
+  HIOS_CHECK(options.lane_height_px >= 20, "SVG lane height too small");
+  static constexpr std::array<const char*, 8> kFill = {
+      "#8dd3c7", "#ffffb3", "#bebada", "#fb8072",
+      "#80b1d3", "#fdb462", "#b3de69", "#fccde5"};
+
+  const int margin_left = 70;
+  const int margin_top = 30;
+  const int lane_gap = 8;
+  const int lanes = std::max(1, timeline.num_gpus);
+  const int height = margin_top + lanes * (options.lane_height_px + lane_gap) + 30;
+  const double span = std::max(timeline.latency_ms, 1e-9);
+  const double scale = static_cast<double>(options.width_px - margin_left - 20) / span;
+
+  auto x_of = [&](double ms) { return margin_left + ms * scale; };
+  auto lane_y = [&](int gpu) {
+    return margin_top + gpu * (options.lane_height_px + lane_gap);
+  };
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width_px
+      << "\" height=\"" << height << "\" font-family=\"monospace\" font-size=\"10\">\n";
+  svg << "<text x=\"8\" y=\"16\">latency " << timeline.latency_ms << " ms</text>\n";
+
+  // Lane backgrounds + labels.
+  for (int gpu = 0; gpu < lanes; ++gpu) {
+    svg << "<rect x=\"" << margin_left << "\" y=\"" << lane_y(gpu) << "\" width=\""
+        << options.width_px - margin_left - 20 << "\" height=\"" << options.lane_height_px
+        << "\" fill=\"#f4f4f4\" stroke=\"#cccccc\"/>\n";
+    svg << "<text x=\"8\" y=\"" << lane_y(gpu) + options.lane_height_px / 2
+        << "\">GPU " << gpu << "</text>\n";
+  }
+
+  // Compute boxes first, transfers on top.
+  for (const TimelineEvent& e : timeline.events) {
+    if (e.kind != TimelineEvent::Kind::kCompute) continue;
+    const double x = x_of(e.start_ms);
+    const double w = std::max(1.0, (e.finish_ms - e.start_ms) * scale);
+    const int y = lane_y(e.gpu) + 4;
+    svg << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\"" << w << "\" height=\""
+        << options.lane_height_px - 8 << "\" fill=\""
+        << kFill[static_cast<std::size_t>(std::max(0, e.stage)) % kFill.size()]
+        << "\" stroke=\"#555555\"><title>" << escape_xml(e.name) << " ["
+        << e.start_ms << ", " << e.finish_ms << "] ms</title></rect>\n";
+    if (options.show_labels && w > 40.0) {
+      svg << "<text x=\"" << x + 3 << "\" y=\"" << y + 12 << "\">"
+          << escape_xml(e.name.substr(0, static_cast<std::size_t>(w / 7.0))) << "</text>\n";
+    }
+  }
+  for (const TimelineEvent& e : timeline.events) {
+    if (e.kind != TimelineEvent::Kind::kTransfer) continue;
+    const double x1 = x_of(e.start_ms);
+    const double x2 = x_of(e.finish_ms);
+    const int y1 = lane_y(e.gpu) + options.lane_height_px / 2;
+    const int y2 = lane_y(std::max(0, e.peer_gpu)) + options.lane_height_px / 2;
+    svg << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2 << "\" y2=\"" << y2
+        << "\" stroke=\"#d62728\" stroke-dasharray=\"4 2\"><title>" << escape_xml(e.name)
+        << "</title></line>\n";
+  }
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace hios::sim

@@ -1,0 +1,21 @@
+// Standalone SVG rendering of a Timeline: one swim lane per GPU, compute
+// stages as boxes, transfers as slanted connectors. Opens directly in a
+// browser — no tooling needed (unlike the Chrome-trace export).
+#pragma once
+
+#include <string>
+
+#include "sim/timeline.h"
+
+namespace hios::sim {
+
+struct SvgOptions {
+  int width_px = 1200;
+  int lane_height_px = 56;
+  bool show_labels = true;   ///< op names inside boxes (off for huge graphs)
+};
+
+/// Renders the timeline as a self-contained SVG document.
+std::string to_svg(const Timeline& timeline, const SvgOptions& options = {});
+
+}  // namespace hios::sim

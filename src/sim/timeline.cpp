@@ -1,0 +1,61 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace hios::sim {
+
+Json Timeline::to_chrome_trace() const {
+  Json events_json = Json::array();
+  for (const TimelineEvent& e : events) {
+    Json entry = Json::object();
+    entry["name"] = e.name;
+    entry["ph"] = "X";
+    entry["ts"] = e.start_ms * 1000.0;                    // microseconds
+    entry["dur"] = (e.finish_ms - e.start_ms) * 1000.0;
+    entry["pid"] = e.kind == TimelineEvent::Kind::kCompute ? e.gpu : 1000 + e.gpu;
+    entry["tid"] = e.kind == TimelineEvent::Kind::kCompute ? e.stage : e.peer_gpu;
+    Json args = Json::object();
+    args["kind"] = e.kind == TimelineEvent::Kind::kCompute ? "compute" : "transfer";
+    if (e.kind == TimelineEvent::Kind::kTransfer) args["dst_gpu"] = e.peer_gpu;
+    entry["args"] = std::move(args);
+    events_json.push_back(std::move(entry));
+  }
+  Json root = Json::object();
+  root["traceEvents"] = std::move(events_json);
+  root["displayTimeUnit"] = "ms";
+  return root;
+}
+
+std::string Timeline::to_ascii_gantt(int columns) const {
+  HIOS_CHECK(columns >= 10, "gantt needs >= 10 columns");
+  if (events.empty() || latency_ms <= 0.0) return "(empty timeline)\n";
+  const double scale = static_cast<double>(columns) / latency_ms;
+  std::ostringstream os;
+  os << "latency " << latency_ms << " ms | '#'=compute '~'=transfer, one row per event\n";
+  // Group rows by GPU for readability.
+  std::vector<TimelineEvent> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(), [](const TimelineEvent& a, const TimelineEvent& b) {
+    if (a.gpu != b.gpu) return a.gpu < b.gpu;
+    return a.start_ms < b.start_ms;
+  });
+  int last_gpu = -1;
+  for (const TimelineEvent& e : sorted) {
+    if (e.gpu != last_gpu) {
+      os << "GPU " << e.gpu << ":\n";
+      last_gpu = e.gpu;
+    }
+    const int begin = static_cast<int>(std::floor(e.start_ms * scale));
+    int end = static_cast<int>(std::ceil(e.finish_ms * scale));
+    end = std::max(end, begin + 1);
+    end = std::min(end, columns);
+    os << "  |" << std::string(static_cast<std::size_t>(begin), ' ')
+       << std::string(static_cast<std::size_t>(end - begin),
+                      e.kind == TimelineEvent::Kind::kCompute ? '#' : '~')
+       << std::string(static_cast<std::size_t>(columns - end), ' ') << "| " << e.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hios::sim

@@ -1,0 +1,38 @@
+// Execution timeline: the per-op / per-transfer record of one simulated
+// inference, with exporters (Chrome trace JSON, ASCII Gantt).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/json.h"
+
+namespace hios::sim {
+
+/// One timeline entry (compute op or inter-GPU transfer).
+struct TimelineEvent {
+  enum class Kind { kCompute, kTransfer };
+  Kind kind = Kind::kCompute;
+  std::string name;
+  int gpu = 0;          ///< executing GPU (transfers: source GPU)
+  int peer_gpu = -1;    ///< transfers: destination GPU
+  int stage = -1;       ///< stage index on the GPU (compute only)
+  double start_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+/// A complete simulated run.
+struct Timeline {
+  double latency_ms = 0.0;
+  int num_gpus = 0;
+  std::vector<TimelineEvent> events;
+
+  /// Chrome tracing format (load in chrome://tracing or Perfetto).
+  Json to_chrome_trace() const;
+
+  /// Fixed-width Gantt chart; `columns` is the plot width in characters.
+  std::string to_ascii_gantt(int columns = 100) const;
+};
+
+}  // namespace hios::sim

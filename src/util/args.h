@@ -1,0 +1,51 @@
+// Tiny command-line flag parser for examples and benchmark harnesses.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unknown flags
+// raise an error listing the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hios {
+
+/// Declarative flag registry + parser.
+class ArgParser {
+ public:
+  explicit ArgParser(std::string program_description)
+      : description_(std::move(program_description)) {}
+
+  /// Registers a flag with default value and help text. Returns *this for chaining.
+  ArgParser& add_flag(const std::string& name, const std::string& default_value,
+                      const std::string& help);
+
+  /// Parses argv. On --help prints usage and returns false (caller exits 0).
+  /// Throws hios::Error on unknown or malformed flags.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Positional arguments left after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hios

@@ -1,0 +1,55 @@
+// Error handling primitives for HIOS.
+//
+// All invariant violations raise hios::Error (derived from std::runtime_error)
+// so callers can uniformly catch library failures. HIOS_CHECK is used for
+// user-input validation (always on); HIOS_ASSERT for internal invariants.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hios {
+
+/// Exception type thrown by all HIOS components on invariant violation.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* cond,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace hios
+
+/// Validates a condition on user-supplied input; always enabled.
+#define HIOS_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream hios_check_os_;                                  \
+      hios_check_os_ << msg; /* NOLINT */                                 \
+      ::hios::detail::raise("HIOS_CHECK", #cond, __FILE__, __LINE__,      \
+                            hios_check_os_.str());                        \
+    }                                                                     \
+  } while (0)
+
+/// Internal invariant; enabled in all builds (cheap relative to scheduling).
+#define HIOS_ASSERT(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream hios_assert_os_;                                 \
+      hios_assert_os_ << msg; /* NOLINT */                                \
+      ::hios::detail::raise("HIOS_ASSERT", #cond, __FILE__, __LINE__,     \
+                            hios_assert_os_.str());                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// Thread-safe, writes to stderr. Level is a process-global atomic; default
+// is kWarn so tests and benchmarks stay quiet unless HIOS_LOG_LEVEL is set.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace hios {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-global log level control.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+/// Parses "debug"/"info"/"warn"/"error"/"off"; returns kWarn on unknown.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+
+void log_emit(LogLevel level, const std::string& message);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_emit(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace hios
+
+#define HIOS_LOG(level)                                  \
+  if (static_cast<int>(::hios::LogLevel::level) <        \
+      static_cast<int>(::hios::log_level())) {           \
+  } else                                                 \
+    ::hios::detail::LogLine(::hios::LogLevel::level)
+
+#define HIOS_DEBUG HIOS_LOG(kDebug)
+#define HIOS_INFO HIOS_LOG(kInfo)
+#define HIOS_WARN HIOS_LOG(kWarn)
+#define HIOS_ERROR HIOS_LOG(kError)

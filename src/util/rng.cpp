@@ -1,0 +1,68 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace hios {
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+int64_t Rng::uniform_int(int64_t lo, int64_t hi) {
+  HIOS_CHECK(lo <= hi, "uniform_int: lo=" << lo << " > hi=" << hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(next_u64());  // full range
+  // Rejection sampling to remove modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+  uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return lo + static_cast<int64_t>(draw % span);
+}
+
+double Rng::uniform(double lo, double hi) {
+  HIOS_CHECK(lo <= hi, "uniform: lo=" << lo << " > hi=" << hi);
+  const double unit = static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::flip(double p) { return canonical() < p; }
+
+std::size_t Rng::index(std::size_t n) {
+  HIOS_CHECK(n > 0, "index: empty range");
+  return static_cast<std::size_t>(uniform_int(0, static_cast<int64_t>(n) - 1));
+}
+
+Rng Rng::fork() {
+  Rng child(next_u64());
+  return child;
+}
+
+}  // namespace hios

@@ -1,0 +1,57 @@
+// Deterministic random number generation.
+//
+// All randomness in HIOS flows through Rng so every simulation/benchmark is
+// reproducible from a single seed. Wraps a SplitMix64-seeded xoshiro256**
+// generator — identical across platforms (std::mt19937 distributions are not
+// portable across standard libraries, so we implement distributions here).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hios {
+
+/// Portable, deterministic PRNG (xoshiro256**) with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from `seed` via SplitMix64.
+  void reseed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next_u64();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t uniform_int(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform double in [0, 1).
+  double canonical() { return uniform(0.0, 1.0); }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool flip(double p);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-instance streams).
+  Rng fork();
+
+ private:
+  uint64_t state_[4] = {0, 0, 0, 0};
+};
+
+}  // namespace hios

@@ -1,0 +1,61 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace hios {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  HIOS_CHECK(header_.empty() || row.size() == header_.size(),
+             "TextTable row width " << row.size() << " != header width " << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << (i ? "  " : "");
+      os << row[i];
+      os << std::string(width[i] - row[i].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : width) total += w;
+  os << std::string(total + 2 * (width.empty() ? 0 : width.size() - 1), '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) os << (i ? "," : "") << row[i];
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace hios

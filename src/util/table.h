@@ -1,0 +1,35 @@
+// Aligned-text table printer used by the benchmark harnesses to print the
+// paper's figure series in both human-readable and CSV form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hios {
+
+/// Accumulates rows of strings and renders an aligned table and/or CSV.
+class TextTable {
+ public:
+  /// Sets the header row (also defines the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double value, int precision = 3);
+
+  /// Renders with column alignment and a separator rule under the header.
+  std::string to_string() const;
+
+  /// Renders as CSV (no quoting needed for our numeric content).
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hios

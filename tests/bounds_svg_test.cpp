@@ -1,0 +1,97 @@
+// Tests for latency lower bounds and the SVG timeline exporter.
+#include <gtest/gtest.h>
+
+#include "core/hios.h"
+
+namespace hios {
+namespace {
+
+const cost::TableCostModel kCost;
+
+TEST(Bounds, ChainIsCriticalPathBound) {
+  const graph::Graph g = models::make_chain(5, 2.0, 0.5);
+  const auto b = sched::latency_lower_bounds(g, kCost, 4);
+  EXPECT_DOUBLE_EQ(b.critical_path_ms, 10.0);
+  EXPECT_DOUBLE_EQ(b.area_ms, 10.0 / 4.0);
+  EXPECT_DOUBLE_EQ(b.combined_ms, 10.0);
+}
+
+TEST(Bounds, WideGraphIsAreaBound) {
+  const graph::Graph g = models::make_fork_join(16, 1.0, 0.1, 0.1);
+  const auto b = sched::latency_lower_bounds(g, kCost, 2);
+  EXPECT_DOUBLE_EQ(b.area_ms, (16.0 + 0.2) / 2.0);
+  EXPECT_GT(b.area_ms, b.critical_path_ms);
+  EXPECT_DOUBLE_EQ(b.combined_ms, b.area_ms);
+}
+
+TEST(Bounds, HeterogeneousSpeedsEnterBothBounds) {
+  const graph::Graph g = models::make_chain(4, 2.0, 0.1);
+  cost::TableCostModel model;
+  model.set_speed_factors({1.0, 3.0});
+  const auto b = sched::latency_lower_bounds(g, model, 2);
+  EXPECT_DOUBLE_EQ(b.critical_path_ms, 8.0 / 3.0);  // fastest GPU
+  EXPECT_DOUBLE_EQ(b.area_ms, 8.0 / 4.0);           // total speed 4.0
+}
+
+TEST(Bounds, EverySchedulerRespectsBounds) {
+  models::RandomDagParams p;
+  p.num_ops = 40;
+  p.num_layers = 6;
+  p.num_deps = 80;
+  p.seed = 19;
+  const graph::Graph g = models::random_dag(p);
+  sched::SchedulerConfig config;
+  config.num_gpus = 3;
+  const auto bounds = sched::latency_lower_bounds(g, kCost, 3);
+  for (const auto& alg : sched::scheduler_names()) {
+    const auto r = sched::make_scheduler(alg)->schedule(g, kCost, config);
+    EXPECT_GE(r.latency_ms, bounds.combined_ms - 1e-9) << alg;
+  }
+}
+
+TEST(Bounds, InputValidation) {
+  const graph::Graph g = models::make_chain(2);
+  EXPECT_THROW(sched::latency_lower_bounds(g, kCost, 0), Error);
+}
+
+TEST(Svg, RendersLanesBoxesAndTransfers) {
+  const graph::Graph g = models::make_chain(3, 1.0, 0.2);
+  sched::Schedule s(2);
+  s.push_op(0, 0);
+  s.push_op(1, 1);
+  s.push_op(0, 2);
+  const auto tl = sim::simulate_stages(g, s, kCost);
+  ASSERT_TRUE(tl.has_value());
+  const std::string svg = sim::to_svg(*tl);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("GPU 0"), std::string::npos);
+  EXPECT_NE(svg.find("GPU 1"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-dasharray"), std::string::npos);  // transfer line
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  // Every compute op appears as a titled box.
+  for (graph::NodeId v = 0; v < 3; ++v)
+    EXPECT_NE(svg.find(g.node_name(v)), std::string::npos);
+}
+
+TEST(Svg, EscapesMarkupInNames) {
+  graph::Graph g;
+  g.add_node("a<b>&\"c\"", 1.0);
+  sched::Schedule s(1);
+  s.push_op(0, 0);
+  const auto tl = sim::simulate_stages(g, s, kCost);
+  const std::string svg = sim::to_svg(*tl);
+  EXPECT_EQ(svg.find("a<b>"), std::string::npos);
+  EXPECT_NE(svg.find("a&lt;b&gt;&amp;&quot;c&quot;"), std::string::npos);
+}
+
+TEST(Svg, OptionValidation) {
+  sim::Timeline empty;
+  sim::SvgOptions bad;
+  bad.width_px = 10;
+  EXPECT_THROW(sim::to_svg(empty, bad), Error);
+  // Empty timeline renders a valid document.
+  EXPECT_NE(sim::to_svg(empty).find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hios

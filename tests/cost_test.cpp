@@ -1,0 +1,201 @@
+// Tests for the cost layer: contention formula, table model, analytical
+// model, and the Fig. 1 / Fig. 2 qualitative reproductions.
+#include <gtest/gtest.h>
+
+#include "cost/analytical_model.h"
+#include "cost/gpu_spec.h"
+#include "cost/table_model.h"
+#include "models/examples.h"
+
+namespace hios::cost {
+namespace {
+
+TEST(Contention, SingleOpIsExact) {
+  const double t[] = {3.0};
+  const double r[] = {0.7};
+  EXPECT_DOUBLE_EQ(contention_stage_time(t, r, 0.1, 0.01), 3.0);
+}
+
+TEST(Contention, SmallOpsOverlapPerfectly) {
+  // Two ops each using 30% of the GPU: makespan = max(t) + stream overhead.
+  const double t[] = {2.0, 1.0};
+  const double r[] = {0.3, 0.3};
+  EXPECT_DOUBLE_EQ(contention_stage_time(t, r, 0.1, 0.0), 2.0);
+}
+
+TEST(Contention, SaturatingOpsSerializeWithPenalty) {
+  const double t[] = {2.0, 2.0};
+  const double r[] = {1.0, 1.0};
+  // base = sum = 4; penalty (1 + kappa*(2-1)) = 1.1 -> 4.4
+  EXPECT_DOUBLE_EQ(contention_stage_time(t, r, 0.1, 0.0), 4.4);
+}
+
+TEST(Contention, NeverFasterThanLongestOp) {
+  const double t[] = {5.0, 0.1, 0.1};
+  const double r[] = {0.2, 0.2, 0.2};
+  EXPECT_GE(contention_stage_time(t, r, 0.1, 0.0), 5.0);
+}
+
+TEST(Contention, StreamOverheadPerExtraOp) {
+  const double t[] = {1.0, 1.0, 1.0};
+  const double r[] = {0.1, 0.1, 0.1};
+  const double base = contention_stage_time(t, r, 0.0, 0.0);
+  const double with = contention_stage_time(t, r, 0.0, 0.5);
+  EXPECT_DOUBLE_EQ(with - base, 1.0);  // 2 extra streams * 0.5
+}
+
+TEST(Contention, InputValidation) {
+  const double t[] = {1.0};
+  const double r_bad[] = {1.5};
+  EXPECT_THROW(contention_stage_time({}, {}, 0.1, 0.0), Error);
+  const double t2[] = {1.0, 1.0};
+  EXPECT_THROW(contention_stage_time(t2, r_bad, 0.1, 0.0), Error);  // size mismatch
+  (void)t;
+}
+
+TEST(TableModel, SingleStageEqualsNodeWeight) {
+  graph::Graph g = models::make_chain(2, 1.7, 0.1);
+  TableCostModel model;
+  const graph::NodeId stage[] = {0};
+  EXPECT_DOUBLE_EQ(model.stage_time(g, stage), 1.7);
+}
+
+TEST(TableModel, DemandScalesWithTime) {
+  graph::Graph g;
+  g.add_node("tiny", 0.05);
+  g.add_node("mid", 1.0);
+  g.add_node("huge", 4.0);
+  TableCostModel model;
+  EXPECT_DOUBLE_EQ(model.demand(g, 0), model.params().r_min);
+  EXPECT_DOUBLE_EQ(model.demand(g, 1), 0.5);  // 1.0 / t_saturate(2.0)
+  EXPECT_DOUBLE_EQ(model.demand(g, 2), 1.0);  // clamped
+}
+
+TEST(TableModel, PairBehaviourMatchesContentionRegimes) {
+  graph::Graph g;
+  g.add_node("small_a", 0.3);
+  g.add_node("small_b", 0.3);
+  g.add_node("big_a", 4.0);
+  g.add_node("big_b", 4.0);
+  TableCostModel model;
+  const graph::NodeId small_pair[] = {0, 1};
+  const graph::NodeId big_pair[] = {2, 3};
+  // Small pair: parallel clearly beats sequential.
+  EXPECT_LT(model.stage_time(g, small_pair), 0.6 * 0.9);
+  // Big pair: parallel is *worse* than sequential (contention, §II-A).
+  EXPECT_GT(model.stage_time(g, big_pair), 8.0);
+}
+
+TEST(GpuSpecs, PresetsSane) {
+  const GpuSpec a40 = make_a40();
+  EXPECT_EQ(a40.sm_count, 84);
+  EXPECT_NEAR(a40.fp32_tflops, 37.4, 1e-9);
+  const Platform p = make_dual_v100s_pcie();
+  EXPECT_EQ(p.num_gpus, 2);
+  EXPECT_LT(make_pcie_gen3().bw_gbps, make_nvlink_bridge().bw_gbps);
+  EXPECT_EQ(make_a40_server(8).num_gpus, 8);
+}
+
+TEST(Analytical, TransferTimeLinearInBytes) {
+  const InterconnectSpec link = make_nvlink_bridge();
+  const double t1 = estimate_transfer_ms(1 << 20, link);
+  const double t2 = estimate_transfer_ms(2 << 20, link);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 - t1, static_cast<double>(1 << 20) / (link.bw_gbps * 1e9) * 1e3, 1e-12);
+  EXPECT_DOUBLE_EQ(estimate_transfer_ms(0, link), link.latency_ms);
+}
+
+TEST(Analytical, OpCostMonotoneInImageSize) {
+  double prev = 0.0;
+  for (int64_t hw : {8, 32, 128, 512}) {
+    const ops::Model m = models::make_single_conv_model(hw);
+    const OpCost c = estimate_op_cost(m, 1, make_a40());
+    EXPECT_GT(c.time_ms, prev);
+    prev = c.time_ms;
+    EXPECT_GT(c.demand, 0.0);
+    EXPECT_LE(c.demand, 1.0);
+  }
+}
+
+TEST(Analytical, Fig1ContentionCrossover) {
+  // §II-A / Fig. 1: two identical 5x5 convs — parallel wins for inputs
+  // <= 64x64, loses (ratio < 1) for >= 128x128 on an A40.
+  const GpuSpec gpu = make_a40();
+  for (int64_t hw : {8, 16, 32, 64, 128, 256, 512, 1024}) {
+    const ops::Model m = models::make_single_conv_model(hw);
+    const cost::ProfiledModel pm = profile_model(m, make_dual_a40_nvlink());
+    const graph::NodeId v = 0;
+    // Emulate a two-op stage by duplicating the node's cost.
+    const double t = pm.graph.node_weight(v);
+    const double r = pm.cost->demand(pm.graph, v);
+    const double seq = 2 * t;
+    const double times[] = {t, t};
+    const double demands[] = {r, r};
+    const double par =
+        contention_stage_time(times, demands, gpu.contention_kappa, gpu.stream_overhead_ms);
+    const double ratio = seq / par;
+    if (hw <= 64) {
+      EXPECT_GT(ratio, 1.0) << "hw=" << hw;
+    } else {
+      EXPECT_LT(ratio, 1.0) << "hw=" << hw;
+    }
+  }
+}
+
+TEST(Analytical, Fig2CommComputeOrdering) {
+  // §II-B / Fig. 2: transfer/compute ratio is much lower on NVLink
+  // platforms than on the V100S PCIe platform, at every size.
+  for (int64_t hw : {32, 128, 512}) {
+    const ops::Model m = models::make_single_conv_model(hw);
+    auto ratio_on = [&](const Platform& p) {
+      const ProfiledModel pm = profile_model(m, p);
+      const double compute = pm.graph.node_weight(0);
+      const double transfer = estimate_transfer_ms(m.output_shape(0).bytes(), p.link);
+      return transfer / compute;
+    };
+    const double a40 = ratio_on(make_dual_a40_nvlink());
+    const double a5500 = ratio_on(make_dual_a5500_nvlink());
+    const double v100s = ratio_on(make_dual_v100s_pcie());
+    EXPECT_LT(a40, v100s) << hw;
+    EXPECT_LT(a5500, v100s) << hw;
+  }
+}
+
+TEST(Analytical, ProfileModelFillsAllWeights) {
+  const ops::Model m = models::make_single_conv_model(64);
+  const ProfiledModel pm = profile_model(m, make_dual_a40_nvlink());
+  EXPECT_EQ(pm.graph.num_nodes(), 1u);
+  EXPECT_GT(pm.graph.node_weight(0), 0.0);
+  const graph::NodeId stage[] = {0};
+  EXPECT_DOUBLE_EQ(pm.cost->stage_time(pm.graph, stage), pm.graph.node_weight(0));
+}
+
+TEST(Analytical, ProfiledEdgeWeightsMatchTransferModel) {
+  ops::Model m("pair");
+  const auto in = m.add_input("x", ops::TensorShape{1, 8, 16, 16});
+  const auto a = m.add_op(ops::Op(ops::OpKind::kActivation, "r1"), {in});
+  m.add_op(ops::Op(ops::OpKind::kActivation, "r2"), {a});
+  const ProfiledModel pm = profile_model(m, make_dual_v100s_pcie());
+  ASSERT_EQ(pm.graph.num_edges(), 1u);
+  // Profiled edges carry raw transfer + the §VI-E kernel-launch stall.
+  EXPECT_DOUBLE_EQ(pm.graph.edges()[0].weight,
+                   estimate_transfer_ms(m.output_shape(a).bytes(), make_pcie_gen3()) +
+                       make_pcie_gen3().sync_overhead_ms);
+}
+
+TEST(Analytical, LaunchOverheadFloorsTinyOps) {
+  ops::Model m("tiny");
+  const auto in = m.add_input("x", ops::TensorShape{1, 1, 2, 2});
+  m.add_op(ops::Op(ops::OpKind::kActivation, "r"), {in});
+  const OpCost c = estimate_op_cost(m, 1, make_a40());
+  EXPECT_GE(c.time_ms, make_a40().launch_overhead_ms);
+}
+
+TEST(Analytical, DemandQueryValidatesRange) {
+  const ops::Model m = models::make_single_conv_model(32);
+  const ProfiledModel pm = profile_model(m, make_dual_a40_nvlink());
+  EXPECT_THROW(pm.cost->demand(pm.graph, 5), Error);
+}
+
+}  // namespace
+}  // namespace hios::cost

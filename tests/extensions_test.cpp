@@ -1,0 +1,244 @@
+// Tests for the extension modules: pipelined-throughput simulation,
+// per-GPU memory accounting, the IOS-as-intra-pass ablation scheduler,
+// and the L (max CUDA streams) cap from §III-A.
+#include <gtest/gtest.h>
+
+#include "core/hios.h"
+
+namespace hios {
+namespace {
+
+const cost::TableCostModel kCost;
+
+sched::Schedule chain_alternating(const graph::Graph& g) {
+  sched::Schedule s(2);
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v)
+    s.push_op(v % 2, v);
+  return s;
+}
+
+// ---------------------------------------------------------------- pipeline
+
+TEST(PipelineSim, SingleRequestMatchesEvaluator) {
+  const graph::Graph g = models::make_fig4_graph();
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto r = sched::make_scheduler("hios-lp")->schedule(g, kCost, config);
+  const auto stats = sim::simulate_pipeline(g, r.schedule, kCost, 1);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->first_latency_ms, r.latency_ms, 1e-9);
+  EXPECT_NEAR(stats->makespan_ms, r.latency_ms, 1e-9);
+}
+
+TEST(PipelineSim, SingleGpuThroughputIsSerial) {
+  // One GPU: no pipelining possible; interval == single-shot latency.
+  const graph::Graph g = models::make_chain(4, 1.0, 0.1);
+  sched::Schedule s(1);
+  for (graph::NodeId v = 0; v < 4; ++v) s.push_op(0, v);
+  const auto stats = sim::simulate_pipeline(g, s, kCost, 5);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->steady_interval_ms, stats->first_latency_ms, 1e-9);
+  EXPECT_NEAR(stats->makespan_ms, 5 * 4.0, 1e-9);
+}
+
+TEST(PipelineSim, CrossGpuPipeliningBeatsSerialThroughput) {
+  // A 2-stage chain split over 2 GPUs: steady interval ~= the slower
+  // GPU's busy time, well under the single-shot latency.
+  const graph::Graph g = models::make_chain(2, 2.0, 0.2);
+  const sched::Schedule s = chain_alternating(g);
+  const auto stats = sim::simulate_pipeline(g, s, kCost, 20);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->first_latency_ms, 2.0 + 0.2 + 2.0, 1e-9);
+  EXPECT_LT(stats->steady_interval_ms, stats->first_latency_ms - 1.0);
+  EXPECT_NEAR(stats->steady_interval_ms, 2.0, 0.3);  // bottleneck GPU
+}
+
+TEST(PipelineSim, IntervalNeverExceedsLatency) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    models::RandomDagParams p;
+    p.num_ops = 30;
+    p.num_layers = 5;
+    p.num_deps = 60;
+    p.seed = seed;
+    const graph::Graph g = models::random_dag(p);
+    sched::SchedulerConfig config;
+    config.num_gpus = 3;
+    const auto r = sched::make_scheduler("hios-lp")->schedule(g, kCost, config);
+    const auto stats = sim::simulate_pipeline(g, r.schedule, kCost, 10);
+    ASSERT_TRUE(stats.has_value()) << seed;
+    EXPECT_LE(stats->steady_interval_ms, stats->first_latency_ms + 1e-9) << seed;
+    EXPECT_GE(stats->makespan_ms, stats->first_latency_ms) << seed;
+  }
+}
+
+TEST(PipelineSim, DeadlockDetected) {
+  const graph::Graph g = models::make_chain(3, 1.0, 0.1);
+  sched::Schedule bad(2);
+  bad.push_op(0, 2);
+  bad.push_op(0, 0);
+  bad.push_op(1, 1);
+  EXPECT_FALSE(sim::simulate_pipeline(g, bad, kCost, 3).has_value());
+}
+
+TEST(PipelineSim, InputValidation) {
+  const graph::Graph g = models::make_chain(2, 1.0, 0.1);
+  EXPECT_THROW(sim::simulate_pipeline(g, chain_alternating(g), kCost, 0), Error);
+}
+
+// ------------------------------------------------------------------ memory
+
+TEST(Memory, SequentialChainPeakIsTwoTensors) {
+  // a -> b -> c of equal-size activations on one GPU: at any time at most
+  // the producing tensor + the consumer's output are live (the input to a
+  // stage is freed after its consuming stage finishes).
+  ops::Model m("chain");
+  const auto in = m.add_input("x", ops::TensorShape{1, 4, 8, 8});
+  auto a = m.add_op(ops::Op(ops::OpKind::kActivation, "a"), {in});
+  auto b = m.add_op(ops::Op(ops::OpKind::kActivation, "b"), {a});
+  m.add_op(ops::Op(ops::OpKind::kActivation, "c"), {b});
+  const cost::ProfiledModel pm = cost::profile_model(m, cost::make_dual_a40_nvlink());
+  sched::Schedule s(2);
+  for (graph::NodeId v = 0; v < 3; ++v) s.push_op(0, v);
+  const auto stats = core::estimate_peak_memory(m, pm.graph, s, *pm.cost);
+  ASSERT_EQ(stats.size(), 2u);
+  const int64_t one = m.output_shape(a).bytes();
+  EXPECT_EQ(stats[0].peak_activation_bytes, 2 * one);
+  EXPECT_EQ(stats[1].peak_activation_bytes, 0);  // idle GPU
+  EXPECT_EQ(stats[0].param_bytes, 0);            // activations have no params
+}
+
+TEST(Memory, TransfersCountOnBothGpus) {
+  ops::Model m("pair");
+  const auto in = m.add_input("x", ops::TensorShape{1, 4, 8, 8});
+  const auto a = m.add_op(ops::Op(ops::OpKind::kActivation, "a"), {in});
+  m.add_op(ops::Op(ops::OpKind::kActivation, "b"), {a});
+  const cost::ProfiledModel pm = cost::profile_model(m, cost::make_dual_a40_nvlink());
+  sched::Schedule s(2);
+  s.push_op(0, 0);
+  s.push_op(1, 1);
+  const auto stats = core::estimate_peak_memory(m, pm.graph, s, *pm.cost);
+  // a's tensor lives on GPU0 (produced) and GPU1 (received copy).
+  EXPECT_GT(stats[0].peak_activation_bytes, 0);
+  EXPECT_GT(stats[1].peak_activation_bytes, 0);
+}
+
+TEST(Memory, ParamsChargedToResidentGpu) {
+  const ops::Model m = models::make_single_conv_model(32);
+  const cost::ProfiledModel pm = cost::profile_model(m, cost::make_dual_a40_nvlink());
+  sched::Schedule s(2);
+  s.push_op(1, 0);
+  const auto stats = core::estimate_peak_memory(m, pm.graph, s, *pm.cost);
+  EXPECT_EQ(stats[0].param_bytes, 0);
+  EXPECT_EQ(stats[1].param_bytes, m.param_count(1) * 4);
+}
+
+TEST(Memory, InceptionFitsA40) {
+  const ops::Model m = models::make_inception_v3();
+  const cost::ProfiledModel pm = cost::profile_model(m, cost::make_dual_a40_nvlink());
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto r = sched::make_scheduler("hios-lp")->schedule(pm.graph, *pm.cost, config);
+  const auto stats = core::estimate_peak_memory(m, pm.graph, r.schedule, *pm.cost);
+  constexpr int64_t kA40Bytes = 48LL << 30;
+  EXPECT_TRUE(core::fits_memory(stats, kA40Bytes));
+  EXPECT_FALSE(core::fits_memory(stats, 1 << 10));  // 1 KiB certainly not
+  for (const auto& s : stats) EXPECT_GT(s.peak_total_bytes(), 0);
+}
+
+TEST(Memory, MultiGpuSplitsParamFootprint) {
+  const ops::Model m = models::make_inception_v3();
+  const cost::ProfiledModel pm = cost::profile_model(m, cost::make_dual_a40_nvlink());
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto seq = sched::make_scheduler("sequential")->schedule(pm.graph, *pm.cost, config);
+  // Sequential puts everything on GPU 0.
+  sched::Schedule seq2(2);
+  seq2.gpus[0] = seq.schedule.gpus[0];
+  const auto solo = core::estimate_peak_memory(m, pm.graph, seq2, *pm.cost);
+  const auto lp = sched::make_scheduler("hios-lp")->schedule(pm.graph, *pm.cost, config);
+  const auto split = core::estimate_peak_memory(m, pm.graph, lp.schedule, *pm.cost);
+  const int64_t total_params = solo[0].param_bytes;
+  EXPECT_EQ(split[0].param_bytes + split[1].param_bytes, total_params);
+  EXPECT_LT(split[0].param_bytes, total_params);
+}
+
+// ------------------------------------------------------- ios-intra ablation
+
+TEST(IosIntra, ValidAndNeverWorseThanInterOnly) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    models::RandomDagParams p;
+    p.num_ops = 40;
+    p.num_layers = 6;
+    p.num_deps = 80;
+    p.seed = seed;
+    const graph::Graph g = models::random_dag(p);
+    sched::SchedulerConfig config;
+    config.num_gpus = 2;
+    const auto inter = sched::make_scheduler("inter-lp")->schedule(g, kCost, config);
+    const auto ii = sched::ios_intra_pass(g, inter.schedule, kCost, config);
+    EXPECT_TRUE(sched::validate_schedule(g, ii.schedule).empty()) << seed;
+    EXPECT_LE(ii.latency_ms, inter.latency_ms + 1e-9) << seed;
+    // The mapping is preserved (only stages are re-partitioned).
+    EXPECT_EQ(ii.schedule.gpu_assignment(g.num_nodes()),
+              inter.schedule.gpu_assignment(g.num_nodes()))
+        << seed;
+  }
+}
+
+TEST(IosIntra, FactorySchedulerWorks) {
+  const graph::Graph g = models::make_fork_join(4, 0.3, 0.05, 0.2);
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto r = sched::make_scheduler("hios-lp-iosintra")->schedule(g, kCost, config);
+  EXPECT_EQ(r.algorithm, "hios-lp-iosintra");
+  EXPECT_TRUE(sched::validate_schedule(g, r.schedule).empty());
+  const auto eval = sched::evaluate_schedule(g, r.schedule, kCost);
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_NEAR(eval->latency_ms, r.latency_ms, 1e-9);
+}
+
+TEST(IosIntra, CostsMoreThanWindowPass) {
+  // §IV-B claim (a): IOS per GPU is far more expensive than Alg. 2.
+  models::RandomDagParams p;
+  p.num_ops = 120;
+  p.num_layers = 10;
+  p.num_deps = 240;
+  p.seed = 2;
+  const graph::Graph g = models::random_dag(p);
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto window = sched::make_scheduler("hios-lp")->schedule(g, kCost, config);
+  const auto ios_based = sched::make_scheduler("hios-lp-iosintra")->schedule(g, kCost, config);
+  EXPECT_GT(ios_based.scheduling_ms, window.scheduling_ms);
+}
+
+// ------------------------------------------------------------- max streams
+
+TEST(MaxStreams, CapsEveryStage) {
+  const graph::Graph g = models::make_fork_join(8, 0.1, 0.01, 0.05);
+  sched::SchedulerConfig config;
+  config.num_gpus = 1;
+  config.window = 8;
+  config.max_streams = 2;  // L = 2
+  const auto lp = sched::make_scheduler("hios-lp")->schedule(g, kCost, config);
+  for (const auto& gpu : lp.schedule.gpus)
+    for (const auto& stage : gpu) EXPECT_LE(stage.ops.size(), 2u);
+  config.ios_max_stage_ops = 8;
+  const auto ios = sched::make_scheduler("ios")->schedule(g, kCost, config);
+  for (const auto& stage : ios.schedule.gpus[0]) EXPECT_LE(stage.ops.size(), 2u);
+}
+
+TEST(MaxStreams, LooserLNeverHurts) {
+  const graph::Graph g = models::make_fork_join(6, 0.2, 0.02, 0.1);
+  sched::SchedulerConfig tight, loose;
+  tight.num_gpus = loose.num_gpus = 1;
+  tight.window = loose.window = 6;
+  tight.max_streams = 2;
+  loose.max_streams = 6;
+  const auto t = sched::make_scheduler("hios-lp")->schedule(g, kCost, tight);
+  const auto l = sched::make_scheduler("hios-lp")->schedule(g, kCost, loose);
+  EXPECT_LE(l.latency_ms, t.latency_ms + 1e-9);
+}
+
+}  // namespace
+}  // namespace hios

@@ -1,0 +1,142 @@
+// Tests for the heterogeneous-GPU extension (per-GPU speed factors).
+#include <gtest/gtest.h>
+
+#include "core/hios.h"
+
+namespace hios {
+namespace {
+
+cost::TableCostModel make_hetero(std::vector<double> speeds) {
+  cost::TableCostModel model;
+  model.set_speed_factors(std::move(speeds));
+  return model;
+}
+
+TEST(Hetero, DefaultsAreHomogeneous) {
+  const cost::TableCostModel model;
+  const graph::Graph g = models::make_chain(2, 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(model.speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.speed(7), 1.0);
+  EXPECT_DOUBLE_EQ(model.node_time(g, 0, 3), 3.0);
+}
+
+TEST(Hetero, SpeedFactorsScaleTimes) {
+  const auto model = make_hetero({1.0, 2.0});
+  const graph::Graph g = models::make_chain(2, 3.0, 0.1);
+  EXPECT_DOUBLE_EQ(model.node_time(g, 0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(model.node_time(g, 0, 1), 1.5);
+  const graph::NodeId stage[] = {0};
+  EXPECT_DOUBLE_EQ(model.stage_time_on(g, stage, 1), 1.5);
+}
+
+TEST(Hetero, ValidationRejectsBadFactors) {
+  cost::TableCostModel model;
+  EXPECT_THROW(model.set_speed_factors({1.0, 0.0}), Error);
+  EXPECT_THROW(model.set_speed_factors({-2.0}), Error);
+  const auto hetero = make_hetero({1.0});
+  EXPECT_THROW(hetero.speed(5), Error);  // out of declared range
+}
+
+TEST(Hetero, EvaluatorUsesPerGpuSpeeds) {
+  const graph::Graph g = models::make_chain(2, 2.0, 0.5);
+  const auto model = make_hetero({1.0, 4.0});
+  sched::Schedule s(2);
+  s.push_op(0, 0);
+  s.push_op(1, 1);
+  const auto eval = sched::evaluate_schedule(g, s, model);
+  ASSERT_TRUE(eval.has_value());
+  // op0 on slow gpu: 2.0; transfer 0.5; op1 on 4x gpu: 0.5.
+  EXPECT_DOUBLE_EQ(eval->latency_ms, 2.0 + 0.5 + 0.5);
+}
+
+TEST(Hetero, SchedulersPreferTheFastGpu) {
+  // With GPU 1 4x faster and cheap transfers, HIOS-LP and HIOS-MR should
+  // place the bulk of the serial work there.
+  const graph::Graph g = models::make_chain(6, 2.0, 0.05);
+  const auto model = make_hetero({1.0, 4.0});
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  for (const char* alg : {"hios-lp", "hios-mr"}) {
+    const auto r = sched::make_scheduler(alg)->schedule(g, model, config);
+    sched::check_schedule(g, r.schedule);
+    const auto gpu_of = r.schedule.gpu_assignment(g.num_nodes());
+    int on_fast = 0;
+    for (int gpu : gpu_of) on_fast += gpu == 1;
+    EXPECT_GT(on_fast, 3) << alg;
+    // Latency beats the all-on-slow-GPU bound (12 ms) decisively.
+    EXPECT_LT(r.latency_ms, 6.0) << alg;
+  }
+}
+
+TEST(Hetero, AllSchedulersValidOnHeterogeneousMachines) {
+  models::RandomDagParams p;
+  p.num_ops = 40;
+  p.num_layers = 6;
+  p.num_deps = 80;
+  p.seed = 11;
+  const graph::Graph g = models::random_dag(p);
+  const auto model = make_hetero({1.0, 2.0, 0.5, 1.5});
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  for (const auto& alg : sched::scheduler_names()) {
+    const auto r = sched::make_scheduler(alg)->schedule(g, model, config);
+    EXPECT_TRUE(sched::validate_schedule(g, r.schedule).empty()) << alg;
+    const auto eval = sched::evaluate_schedule(g, r.schedule, model);
+    ASSERT_TRUE(eval.has_value()) << alg;
+    EXPECT_NEAR(eval->latency_ms, r.latency_ms, 1e-9) << alg;
+  }
+}
+
+TEST(Hetero, FasterExtraGpuNeverHurts) {
+  // Adding a faster second GPU must not increase HIOS-LP latency compared
+  // with the slow GPU alone.
+  models::RandomDagParams p;
+  p.num_ops = 30;
+  p.num_layers = 5;
+  p.num_deps = 60;
+  p.seed = 4;
+  const graph::Graph g = models::random_dag(p);
+  sched::SchedulerConfig one, two;
+  one.num_gpus = 1;
+  two.num_gpus = 2;
+  const cost::TableCostModel homo;
+  const auto solo = sched::make_scheduler("hios-lp")->schedule(g, homo, one);
+  const auto hetero_model = make_hetero({1.0, 3.0});
+  const auto pair = sched::make_scheduler("hios-lp")->schedule(g, hetero_model, two);
+  EXPECT_LE(pair.latency_ms, solo.latency_ms + 1e-9);
+}
+
+TEST(Hetero, RuntimeEngineHonoursSpeeds) {
+  const ops::Model m = models::make_single_conv_model(16, 4);
+  cost::ProfiledModel pm = cost::profile_model(m, cost::make_a40_server(2));
+  // Re-wrap the profiled cost with speed factors (engine path check).
+  auto hetero = std::make_shared<cost::TableCostModel>();
+  hetero->set_speed_factors({1.0, 2.0});
+  sched::Schedule s(2);
+  s.push_op(1, 0);  // the single conv on the fast GPU
+  const auto run_fast = runtime::execute_schedule(m, pm.graph, s, *hetero);
+  sched::Schedule s0(2);
+  s0.push_op(0, 0);
+  const auto run_slow = runtime::execute_schedule(m, pm.graph, s0, *hetero);
+  EXPECT_NEAR(run_fast.latency_ms * 2.0, run_slow.latency_ms, 1e-9);
+}
+
+TEST(Hetero, OpSimStillBoundedByStageModel) {
+  models::RandomDagParams p;
+  p.num_ops = 30;
+  p.num_layers = 5;
+  p.num_deps = 60;
+  p.seed = 8;
+  const graph::Graph g = models::random_dag(p);
+  const auto model = make_hetero({1.0, 2.0, 1.5});
+  sched::SchedulerConfig config;
+  config.num_gpus = 3;
+  const auto r = sched::make_scheduler("hios-lp")->schedule(g, model, config);
+  const auto stage_tl = sim::simulate_stages(g, r.schedule, model);
+  const auto op_tl = sim::simulate_ops(g, r.schedule, model);
+  ASSERT_TRUE(stage_tl && op_tl);
+  EXPECT_LE(op_tl->latency_ms, stage_tl->latency_ms + 1e-9);
+}
+
+}  // namespace
+}  // namespace hios

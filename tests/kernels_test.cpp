@@ -1,0 +1,162 @@
+// Unit tests for the CPU reference kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ops/kernels.h"
+
+namespace hios::ops {
+namespace {
+
+Tensor filled(TensorShape shape, float value) {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < t.size(); ++i) t.data()[i] = value;
+  return t;
+}
+
+TEST(Kernels, WeightsDeterministic) {
+  const auto a = make_weights(5, 100);
+  const auto b = make_weights(5, 100);
+  EXPECT_EQ(a, b);
+  const auto c = make_weights(6, 100);
+  EXPECT_NE(a, c);
+}
+
+TEST(Kernels, ReluClampsNegatives) {
+  Op relu(OpKind::kActivation, "r");
+  Tensor in(TensorShape{1, 1, 1, 4});
+  in.data()[0] = -1.0f;
+  in.data()[1] = 0.0f;
+  in.data()[2] = 2.0f;
+  in.data()[3] = -0.5f;
+  const Tensor out = execute_op(relu, {&in}, 0);
+  EXPECT_FLOAT_EQ(out.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(out.data()[1], 0.0f);
+  EXPECT_FLOAT_EQ(out.data()[2], 2.0f);
+  EXPECT_FLOAT_EQ(out.data()[3], 0.0f);
+}
+
+TEST(Kernels, EltwiseAdds) {
+  Op add(OpKind::kEltwise, "a");
+  Tensor x = filled({1, 2, 2, 2}, 1.5f);
+  Tensor y = filled({1, 2, 2, 2}, 2.0f);
+  const Tensor out = execute_op(add, {&x, &y}, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out.data()[i], 3.5f);
+}
+
+TEST(Kernels, IdentityPassesThrough) {
+  Op id(OpKind::kIdentity, "i");
+  Tensor x = filled({1, 3, 2, 2}, 7.0f);
+  const Tensor out = execute_op(id, {&x}, 0);
+  EXPECT_EQ(out.shape(), x.shape());
+  EXPECT_FLOAT_EQ(out.data()[0], 7.0f);
+}
+
+TEST(Kernels, MaxPoolPicksMax) {
+  Op pool(OpKind::kPool2d, "p", Pool2dAttr{PoolMode::kMax, 2, 2, 2, 2, 0, 0});
+  Tensor in(TensorShape{1, 1, 2, 2});
+  in.at(0, 0, 0, 0) = 1.0f;
+  in.at(0, 0, 0, 1) = 4.0f;
+  in.at(0, 0, 1, 0) = -2.0f;
+  in.at(0, 0, 1, 1) = 0.5f;
+  const Tensor out = execute_op(pool, {&in}, 0);
+  EXPECT_EQ(out.shape(), (TensorShape{1, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.data()[0], 4.0f);
+}
+
+TEST(Kernels, AvgPoolAveragesWithBoundary) {
+  // 3x3 avg pool stride 1 pad 1 on a constant image stays constant
+  // (divisor counts only in-bounds taps).
+  Op pool(OpKind::kPool2d, "p", Pool2dAttr{PoolMode::kAvg, 3, 3, 1, 1, 1, 1});
+  Tensor in = filled({1, 1, 4, 4}, 2.0f);
+  const Tensor out = execute_op(pool, {&in}, 0);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out.data()[i], 2.0f);
+}
+
+TEST(Kernels, GlobalPoolAverages) {
+  Op gp(OpKind::kGlobalPool, "g");
+  Tensor in(TensorShape{1, 1, 2, 2});
+  in.data()[0] = 1;
+  in.data()[1] = 2;
+  in.data()[2] = 3;
+  in.data()[3] = 6;
+  const Tensor out = execute_op(gp, {&in}, 0);
+  EXPECT_FLOAT_EQ(out.data()[0], 3.0f);
+}
+
+TEST(Kernels, ConcatLaysOutChannels) {
+  Op cat(OpKind::kConcat, "c");
+  Tensor a = filled({1, 1, 2, 2}, 1.0f);
+  Tensor b = filled({1, 2, 2, 2}, 2.0f);
+  const Tensor out = execute_op(cat, {&a, &b}, 0);
+  EXPECT_EQ(out.shape().c, 3);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 2, 0, 1), 2.0f);
+}
+
+TEST(Kernels, ConvIdentityFilterCheck) {
+  // Hand-check a 1-channel 1x1 conv: output = relu(w * x + b) with the
+  // deterministic weights; recompute expectation from make_weights.
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{1, 1, 1, 1, 1, 0, 0, 1});
+  Tensor in = filled({1, 1, 2, 2}, 3.0f);
+  const uint64_t seed = 77;
+  const auto w = make_weights(seed, 2);  // 1 weight + 1 bias
+  const Tensor out = execute_op(conv, {&in}, seed);
+  const float expect = std::max(0.0f, w[0] * 3.0f + w[1]);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_FLOAT_EQ(out.data()[i], expect);
+}
+
+TEST(Kernels, ConvPaddingZeroes) {
+  // 3x3 conv pad 1 on a 1x1 image touches only the center tap.
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{1, 3, 3, 1, 1, 1, 1, 1});
+  Tensor in = filled({1, 1, 1, 1}, 1.0f);
+  const uint64_t seed = 3;
+  const auto w = make_weights(seed, 10);  // 9 weights + 1 bias
+  const Tensor out = execute_op(conv, {&in}, seed);
+  const float expect = std::max(0.0f, w[4] + w[9]);  // center weight + bias
+  EXPECT_FLOAT_EQ(out.data()[0], expect);
+}
+
+TEST(Kernels, ConvDeterministicAcrossCalls) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{4, 3, 3, 1, 1, 1, 1, 1});
+  Tensor in = filled({1, 3, 5, 5}, 0.5f);
+  const Tensor a = execute_op(conv, {&in}, 11);
+  const Tensor b = execute_op(conv, {&in}, 11);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Kernels, SepConvRuns) {
+  Op sep(OpKind::kSepConv2d, "s", Conv2dAttr{6, 3, 3, 1, 1, 1, 1, 1});
+  Tensor in = filled({1, 4, 6, 6}, 0.3f);
+  const Tensor out = execute_op(sep, {&in}, 2);
+  EXPECT_EQ(out.shape(), (TensorShape{1, 6, 6, 6}));
+}
+
+TEST(Kernels, LinearComputesDotProduct) {
+  Op fc(OpKind::kLinear, "fc", LinearAttr{2});
+  Tensor in = filled({1, 3, 1, 1}, 1.0f);
+  const uint64_t seed = 9;
+  const auto w = make_weights(seed, 3 * 2 + 2);
+  const Tensor out = execute_op(fc, {&in}, seed);
+  EXPECT_NEAR(out.at(0, 0, 0, 0), w[0] + w[1] + w[2] + w[6], 1e-6);
+  EXPECT_NEAR(out.at(0, 1, 0, 0), w[3] + w[4] + w[5] + w[7], 1e-6);
+}
+
+TEST(Kernels, InputOpNotExecutable) {
+  Op input(OpKind::kInput, "x");
+  Tensor t({1, 1, 1, 1});
+  EXPECT_THROW(execute_op(input, {}, 0), Error);
+  (void)t;
+}
+
+TEST(Kernels, StridedConvShrinks) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{2, 3, 3, 2, 2, 0, 0, 1});
+  Tensor in = filled({1, 2, 9, 9}, 0.1f);
+  const Tensor out = execute_op(conv, {&in}, 5);
+  EXPECT_EQ(out.shape().h, 4);
+  EXPECT_EQ(out.shape().w, 4);
+}
+
+}  // namespace
+}  // namespace hios::ops

@@ -1,0 +1,98 @@
+// Tests for the priority-order list scheduler (Alg. 1 lines 10-13).
+#include <gtest/gtest.h>
+
+#include "cost/table_model.h"
+#include "graph/algorithms.h"
+#include "models/examples.h"
+#include "models/random_dag.h"
+#include "sched/evaluate.h"
+#include "sched/list_schedule.h"
+
+namespace hios::sched {
+namespace {
+
+const cost::TableCostModel kCost;
+
+TEST(ListSchedule, ChainOnOneGpu) {
+  const graph::Graph g = models::make_chain(3, 2.0, 0.5);
+  const auto order = graph::priority_order(g);
+  const ListScheduleResult r = list_schedule(g, {0, 0, 0}, order, 1, kCost);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 6.0);
+  EXPECT_DOUBLE_EQ(r.start[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.finish[2], 6.0);
+  EXPECT_EQ(r.schedule.gpus[0].size(), 3u);
+}
+
+TEST(ListSchedule, CrossGpuTransferDelaysStart) {
+  const graph::Graph g = models::make_chain(2, 2.0, 0.7);
+  const auto order = graph::priority_order(g);
+  const ListScheduleResult r = list_schedule(g, {0, 1}, order, 2, kCost);
+  EXPECT_DOUBLE_EQ(r.start[1], 2.7);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 4.7);
+}
+
+TEST(ListSchedule, PartialMappingIgnoresUnmapped) {
+  const graph::Graph g = models::make_chain(3, 1.0, 0.5);
+  const auto order = graph::priority_order(g);
+  const ListScheduleResult r = list_schedule(g, {0, -1, 0}, order, 1, kCost);
+  // Node 1 unmapped: node 2's dependency on it is ignored; both mapped ops
+  // run back to back.
+  EXPECT_DOUBLE_EQ(r.latency_ms, 2.0);
+  EXPECT_DOUBLE_EQ(r.start[2], 1.0);
+  EXPECT_DOUBLE_EQ(r.finish[1], -1.0);
+  EXPECT_EQ(r.schedule.num_ops(), 2u);
+}
+
+TEST(ListSchedule, ParallelBranchesUseBothGpus) {
+  const graph::Graph g = models::make_fork_join(2, 3.0, 0.5, 1.0);
+  const auto order = graph::priority_order(g);
+  const ListScheduleResult r = list_schedule(g, {0, 0, 0, 1}, order, 2, kCost);
+  // Matches the evaluator on the same singleton-stage schedule.
+  const cost::TableCostModel cost;
+  const auto eval = evaluate_schedule(g, r.schedule, cost);
+  ASSERT_TRUE(eval.has_value());
+  EXPECT_DOUBLE_EQ(eval->latency_ms, r.latency_ms);
+}
+
+TEST(ListSchedule, AgreesWithEvaluatorOnRandomGraphs) {
+  // The list scheduler's incremental times must equal the evaluator's
+  // fixed-point on the produced schedule (same §III-A semantics).
+  const cost::TableCostModel cost;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    models::RandomDagParams p;
+    p.num_ops = 60;
+    p.num_layers = 8;
+    p.num_deps = 120;
+    p.seed = seed;
+    const graph::Graph g = models::random_dag(p);
+    const auto order = graph::priority_order(g);
+    std::vector<int> mapping(g.num_nodes());
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) mapping[v] = static_cast<int>(v % 3);
+    const ListScheduleResult r = list_schedule(g, mapping, order, 3, kCost);
+    const auto eval = evaluate_schedule(g, r.schedule, cost);
+    ASSERT_TRUE(eval.has_value()) << seed;
+    EXPECT_NEAR(eval->latency_ms, r.latency_ms, 1e-9) << seed;
+  }
+}
+
+TEST(ListSchedule, InputValidation) {
+  const graph::Graph g = models::make_chain(2);
+  const auto order = graph::priority_order(g);
+  EXPECT_THROW(list_schedule(g, {0}, order, 1, kCost), Error);          // mapping size
+  EXPECT_THROW(list_schedule(g, {0, 0}, {0}, 1, kCost), Error);         // order size
+  EXPECT_THROW(list_schedule(g, {0, 0}, order, 0, kCost), Error);       // gpus
+  EXPECT_THROW(list_schedule(g, {0, 5}, order, 2, kCost), Error);       // gpu range
+}
+
+TEST(ListSchedule, GpuTailRespected) {
+  // Two independent ops on one GPU execute back to back even without deps.
+  graph::Graph g;
+  g.add_node("a", 2.0);
+  g.add_node("b", 3.0);
+  const auto order = graph::priority_order(g);
+  const ListScheduleResult r = list_schedule(g, {0, 0}, order, 1, kCost);
+  EXPECT_DOUBLE_EQ(r.latency_ms, 5.0);
+}
+
+}  // namespace
+}  // namespace hios::sched

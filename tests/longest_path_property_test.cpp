@@ -1,0 +1,95 @@
+// Property suite for longest_valid_path over random graphs and random
+// scheduled masks: the result must always be a real path, respect the
+// validity constraint, and report a self-consistent length.
+#include <gtest/gtest.h>
+
+#include "graph/longest_path.h"
+#include "models/random_dag.h"
+#include "util/rng.h"
+
+namespace hios::graph {
+namespace {
+
+class LongestPathProperty : public testing::TestWithParam<uint64_t> {};
+
+/// Recomputes the chain's length from first principles.
+double recompute_length(const Graph& g, const std::vector<NodeId>& nodes,
+                        const DynBitset& scheduled) {
+  double len = 0.0;
+  for (NodeId v : nodes) len += g.node_weight(v);
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    const EdgeId e = g.find_edge(nodes[i], nodes[i + 1]);
+    EXPECT_GE(e, 0) << "consecutive path nodes must share an edge";
+    len += g.edge(e).weight;
+  }
+  // Head bonus: heaviest edge from a scheduled producer into the first node.
+  double head = 0.0;
+  for (EdgeId e : g.in_edges(nodes.front()))
+    if (scheduled.test(static_cast<std::size_t>(g.edge(e).src)))
+      head = std::max(head, g.edge(e).weight);
+  // Tail bonus: heaviest edge from the last node to a scheduled consumer.
+  double tail = 0.0;
+  for (EdgeId e : g.out_edges(nodes.back()))
+    if (scheduled.test(static_cast<std::size_t>(g.edge(e).dst)))
+      tail = std::max(tail, g.edge(e).weight);
+  return len + head + tail;
+}
+
+TEST_P(LongestPathProperty, ChainValidityAndLengthConsistency) {
+  models::RandomDagParams params;
+  params.num_ops = 50;
+  params.num_layers = 7;
+  params.num_deps = 100;
+  params.seed = GetParam();
+  const Graph g = models::random_dag(params);
+
+  Rng rng(GetParam() * 977);
+  // Grow the scheduled set path-by-path (as HIOS-LP does) and check every
+  // extraction along the way; also sprinkle random pre-scheduled nodes.
+  DynBitset scheduled(g.num_nodes());
+  for (std::size_t v = 0; v < g.num_nodes(); ++v)
+    if (rng.flip(0.2)) scheduled.set(v);
+
+  while (scheduled.count() < g.num_nodes()) {
+    const auto path = longest_valid_path(g, scheduled);
+    ASSERT_TRUE(path.has_value());
+    ASSERT_FALSE(path->nodes.empty());
+
+    // (a) all nodes unscheduled and distinct.
+    DynBitset seen(g.num_nodes());
+    for (NodeId v : path->nodes) {
+      EXPECT_FALSE(scheduled.test(static_cast<std::size_t>(v)));
+      EXPECT_FALSE(seen.test(static_cast<std::size_t>(v)));
+      seen.set(static_cast<std::size_t>(v));
+    }
+    // (b) intermediate nodes have no scheduled neighbours.
+    for (std::size_t i = 1; i + 1 < path->nodes.size(); ++i) {
+      const NodeId v = path->nodes[i];
+      for (EdgeId e : g.in_edges(v))
+        EXPECT_FALSE(scheduled.test(static_cast<std::size_t>(g.edge(e).src)))
+            << "intermediate " << v << " touches a scheduled producer";
+      for (EdgeId e : g.out_edges(v))
+        EXPECT_FALSE(scheduled.test(static_cast<std::size_t>(g.edge(e).dst)))
+            << "intermediate " << v << " touches a scheduled consumer";
+    }
+    // (c) reported length matches a from-scratch recomputation.
+    EXPECT_NEAR(path->length, recompute_length(g, path->nodes, scheduled), 1e-9);
+
+    // (d) it is at least as long as any single unscheduled vertex's chain
+    // (a weak but useful maximality check).
+    for (std::size_t v = 0; v < g.num_nodes(); ++v) {
+      if (scheduled.test(v)) continue;
+      DynBitset tmp = scheduled;
+      const std::vector<NodeId> singleton{static_cast<NodeId>(v)};
+      EXPECT_GE(path->length + 1e-9, recompute_length(g, singleton, tmp));
+    }
+
+    for (NodeId v : path->nodes) scheduled.set(static_cast<std::size_t>(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LongestPathProperty,
+                         testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hios::graph

@@ -1,0 +1,158 @@
+// Unit tests for operator shape inference and flop/byte accounting.
+#include <gtest/gtest.h>
+
+#include "ops/op.h"
+
+namespace hios::ops {
+namespace {
+
+TEST(OpShape, ConvBasic) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 1});
+  const TensorShape out = conv.infer_output({TensorShape{1, 32, 56, 56}});
+  EXPECT_EQ(out, (TensorShape{1, 64, 56, 56}));
+}
+
+TEST(OpShape, ConvStrideAndPad) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{8, 5, 5, 2, 2, 0, 0, 1});
+  const TensorShape out = conv.infer_output({TensorShape{1, 3, 29, 29}});
+  EXPECT_EQ(out.h, (29 - 5) / 2 + 1);
+  EXPECT_EQ(out.w, 13);
+}
+
+TEST(OpShape, ConvAsymmetricKernel) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{16, 1, 7, 1, 1, 0, 3, 1});
+  const TensorShape out = conv.infer_output({TensorShape{1, 16, 17, 17}});
+  EXPECT_EQ(out, (TensorShape{1, 16, 17, 17}));
+}
+
+TEST(OpShape, GroupedConvValidation) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 4});
+  EXPECT_NO_THROW(conv.infer_output({TensorShape{1, 32, 8, 8}}));
+  EXPECT_THROW(conv.infer_output({TensorShape{1, 30, 8, 8}}), Error);  // 30 % 4
+}
+
+TEST(OpShape, ConvWindowTooLargeThrows) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{8, 7, 7, 1, 1, 0, 0, 1});
+  EXPECT_THROW(conv.infer_output({TensorShape{1, 3, 5, 5}}), Error);
+}
+
+TEST(OpShape, PoolShapes) {
+  Op pool(OpKind::kPool2d, "p", Pool2dAttr{PoolMode::kMax, 3, 3, 2, 2, 0, 0});
+  const TensorShape out = pool.infer_output({TensorShape{1, 192, 35, 35}});
+  EXPECT_EQ(out, (TensorShape{1, 192, 17, 17}));
+}
+
+TEST(OpShape, GlobalPoolCollapsesSpatial) {
+  Op gp(OpKind::kGlobalPool, "g");
+  EXPECT_EQ(gp.infer_output({TensorShape{1, 2048, 8, 8}}), (TensorShape{1, 2048, 1, 1}));
+}
+
+TEST(OpShape, LinearShape) {
+  Op fc(OpKind::kLinear, "fc", LinearAttr{1000});
+  EXPECT_EQ(fc.infer_output({TensorShape{1, 2048, 1, 1}}), (TensorShape{1, 1000, 1, 1}));
+}
+
+TEST(OpShape, ConcatSumsChannels) {
+  Op cat(OpKind::kConcat, "cat");
+  const TensorShape out = cat.infer_output(
+      {TensorShape{1, 64, 35, 35}, TensorShape{1, 64, 35, 35}, TensorShape{1, 96, 35, 35}});
+  EXPECT_EQ(out.c, 224);
+  EXPECT_EQ(out.h, 35);
+}
+
+TEST(OpShape, ConcatSpatialMismatchThrows) {
+  Op cat(OpKind::kConcat, "cat");
+  EXPECT_THROW(
+      cat.infer_output({TensorShape{1, 64, 35, 35}, TensorShape{1, 64, 17, 17}}), Error);
+}
+
+TEST(OpShape, EltwiseRequiresEqualShapes) {
+  Op add(OpKind::kEltwise, "add");
+  EXPECT_EQ(add.infer_output({TensorShape{1, 8, 4, 4}, TensorShape{1, 8, 4, 4}}),
+            (TensorShape{1, 8, 4, 4}));
+  EXPECT_THROW(add.infer_output({TensorShape{1, 8, 4, 4}, TensorShape{1, 9, 4, 4}}), Error);
+}
+
+TEST(OpShape, ArityErrors) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{8, 3, 3, 1, 1, 1, 1, 1});
+  EXPECT_THROW(conv.infer_output({}), Error);
+  EXPECT_THROW(conv.infer_output({TensorShape{1, 3, 8, 8}, TensorShape{1, 3, 8, 8}}), Error);
+  Op add(OpKind::kEltwise, "a");
+  EXPECT_THROW(add.infer_output({TensorShape{1, 3, 8, 8}}), Error);
+}
+
+TEST(OpShape, SepConvShape) {
+  Op sep(OpKind::kSepConv2d, "s", Conv2dAttr{42, 5, 5, 2, 2, 2, 2, 1});
+  const TensorShape out = sep.infer_output({TensorShape{1, 16, 33, 33}});
+  EXPECT_EQ(out.c, 42);
+  EXPECT_EQ(out.h, 17);
+}
+
+TEST(OpFlops, ConvFlopsFormula) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 1});
+  const TensorShape in{1, 32, 10, 10};
+  // 2 * out_elems * in_c * k*k + 2*out_elems (bias+relu)
+  const int64_t out_elems = 64 * 10 * 10;
+  EXPECT_EQ(conv.flops({in}), 2 * out_elems * 32 * 9 + 2 * out_elems);
+}
+
+TEST(OpFlops, GroupedConvScalesDown) {
+  Op dense(OpKind::kConv2d, "d", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 1});
+  Op grouped(OpKind::kConv2d, "g", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 4});
+  const TensorShape in{1, 64, 10, 10};
+  EXPECT_GT(dense.flops({in}), grouped.flops({in}));
+}
+
+TEST(OpFlops, LinearFlops) {
+  Op fc(OpKind::kLinear, "fc", LinearAttr{10});
+  EXPECT_EQ(fc.flops({TensorShape{1, 100, 1, 1}}), 2 * 100 * 10);
+}
+
+TEST(OpFlops, MonotoneInImageSize) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{48, 5, 5, 1, 1, 2, 2, 1});
+  int64_t prev = 0;
+  for (int64_t hw : {8, 16, 32, 64, 128}) {
+    const int64_t f = conv.flops({TensorShape{1, 48, hw, hw}});
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(OpParams, ConvParamCount) {
+  Op conv(OpKind::kConv2d, "c", Conv2dAttr{64, 3, 3, 1, 1, 1, 1, 1});
+  EXPECT_EQ(conv.param_count({TensorShape{1, 32, 8, 8}}), 64 * 32 * 9 + 64);
+}
+
+TEST(OpParams, PoolHasNoParams) {
+  Op pool(OpKind::kPool2d, "p", Pool2dAttr{});
+  EXPECT_EQ(pool.param_count({TensorShape{1, 8, 8, 8}}), 0);
+}
+
+TEST(OpBytes, MemoryIncludesAllTensors) {
+  Op add(OpKind::kEltwise, "a");
+  const TensorShape s{1, 4, 4, 4};
+  // 2 inputs + 1 output, 64 floats each.
+  EXPECT_EQ(add.memory_bytes({s, s}), 3 * 64 * 4);
+}
+
+TEST(OpMisc, KindNames) {
+  EXPECT_STREQ(op_kind_name(OpKind::kConv2d), "conv2d");
+  EXPECT_STREQ(op_kind_name(OpKind::kConcat), "concat");
+}
+
+TEST(OpMisc, AttrAccessorsValidate) {
+  Op pool(OpKind::kPool2d, "p", Pool2dAttr{});
+  EXPECT_THROW(pool.conv_attr(), Error);
+  EXPECT_THROW(pool.linear_attr(), Error);
+  EXPECT_NO_THROW(pool.pool_attr());
+}
+
+TEST(TensorShape, ElementsAndBytes) {
+  const TensorShape s{2, 3, 4, 5};
+  EXPECT_EQ(s.elements(), 120);
+  EXPECT_EQ(s.bytes(), 480);
+  EXPECT_EQ(s.to_string(), "[2,3,4,5]");
+}
+
+}  // namespace
+}  // namespace hios::ops

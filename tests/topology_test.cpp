@@ -1,0 +1,170 @@
+// Tests for the interconnect-topology extension: per-GPU-pair link
+// classes, cluster platforms, and topology-aware scheduling behaviour.
+#include <gtest/gtest.h>
+
+#include "cost/analytical_model.h"
+#include "cost/table_model.h"
+#include "cost/topology.h"
+#include "models/examples.h"
+#include "models/inception.h"
+#include "models/random_dag.h"
+#include "sched/evaluate.h"
+#include "sched/scheduler.h"
+#include "sched/validate.h"
+
+namespace hios::cost {
+namespace {
+
+TEST(Topology, UniformIsIdentity) {
+  const Topology topo = Topology::uniform(4);
+  EXPECT_EQ(topo.num_gpus(), 4);
+  EXPECT_FALSE(topo.empty());
+  for (int a = 0; a < 4; ++a)
+    for (int b = 0; b < 4; ++b) EXPECT_DOUBLE_EQ(topo.apply(1.5, a, b), 1.5);
+}
+
+TEST(Topology, HierarchicalScalesCrossGroupOnly) {
+  const Topology topo = Topology::hierarchical(4, 2, LinkClass{3.0, 0.1});
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 0, 1), 1.0);  // same node
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 0, 2), 3.1);  // cross node
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 3, 0), 3.1);  // symmetric
+}
+
+TEST(Topology, SetOverridesPair) {
+  Topology topo = Topology::uniform(3);
+  topo.set(0, 2, LinkClass{2.0, 0.0});
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 0, 2), 2.0);
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(topo.apply(1.0, 0, 1), 1.0);
+}
+
+TEST(Topology, Validation) {
+  EXPECT_THROW(Topology::uniform(0), Error);
+  EXPECT_THROW(Topology::hierarchical(4, 2, LinkClass{0.5, 0.0}), Error);  // faster than base
+  Topology topo = Topology::uniform(2);
+  EXPECT_THROW(topo.between(0, 5), Error);
+  EXPECT_THROW(topo.set(-1, 0, LinkClass{}), Error);
+}
+
+TEST(Topology, EmptyTopologyDefaultTransfer) {
+  const graph::Graph g = models::make_chain(2, 1.0, 0.7);
+  const TableCostModel model;  // no topology installed
+  EXPECT_DOUBLE_EQ(model.transfer_time(g, 0, 0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(model.transfer_time(g, 0, 0, 1), 0.7);
+}
+
+TEST(Topology, InstalledTopologyScalesTransfer) {
+  const graph::Graph g = models::make_chain(2, 1.0, 0.7);
+  TableCostModel model;
+  model.set_topology(Topology::hierarchical(4, 2, LinkClass{4.0, 0.05}));
+  EXPECT_DOUBLE_EQ(model.transfer_time(g, 0, 0, 1), 0.7);
+  EXPECT_DOUBLE_EQ(model.transfer_time(g, 0, 0, 2), 0.7 * 4.0 + 0.05);
+}
+
+TEST(Topology, ClusterPlatformPropagatesToProfiledModel) {
+  const Platform cluster = make_a40_cluster(2, 2);
+  EXPECT_EQ(cluster.num_gpus, 4);
+  EXPECT_FALSE(cluster.topology.empty());
+  ops::Model m("pair");
+  const auto in = m.add_input("x", ops::TensorShape{1, 8, 16, 16});
+  const auto a = m.add_op(ops::Op(ops::OpKind::kActivation, "r1"), {in});
+  m.add_op(ops::Op(ops::OpKind::kActivation, "r2"), {a});
+  const ProfiledModel pm = profile_model(m, cluster);
+  ASSERT_EQ(pm.graph.num_edges(), 1u);
+  // Intra-node transfer = base edge weight; cross-node is scaled up.
+  const double intra = pm.cost->transfer_time(pm.graph, 0, 0, 1);
+  const double cross = pm.cost->transfer_time(pm.graph, 0, 0, 2);
+  EXPECT_DOUBLE_EQ(intra, pm.graph.edges()[0].weight);
+  EXPECT_GT(cross, 3.0 * intra);
+}
+
+TEST(Topology, SchedulersRemainValidOnClusters) {
+  models::RandomDagParams p;
+  p.num_ops = 40;
+  p.num_layers = 6;
+  p.num_deps = 80;
+  p.seed = 3;
+  const graph::Graph g = models::random_dag(p);
+  TableCostModel model;
+  model.set_topology(Topology::hierarchical(4, 2, LinkClass{4.0, 0.05}));
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  for (const auto& alg : sched::scheduler_names()) {
+    const auto r = sched::make_scheduler(alg)->schedule(g, model, config);
+    EXPECT_TRUE(sched::validate_schedule(g, r.schedule).empty()) << alg;
+    const auto eval = sched::evaluate_schedule(g, r.schedule, model);
+    ASSERT_TRUE(eval.has_value()) << alg;
+    EXPECT_NEAR(eval->latency_ms, r.latency_ms, 1e-9) << alg;
+  }
+}
+
+TEST(Topology, SlowCrossLinksRaiseLatency) {
+  // The same schedule problem must cost at least as much on a cluster with
+  // slow cross-node links as on the symmetric machine.
+  models::RandomDagParams p;
+  p.num_ops = 60;
+  p.num_layers = 8;
+  p.num_deps = 120;
+  p.seed = 5;
+  const graph::Graph g = models::random_dag(p);
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  const TableCostModel flat_model;
+  TableCostModel cluster_model;
+  cluster_model.set_topology(Topology::hierarchical(4, 2, LinkClass{6.0, 0.1}));
+  const auto flat = sched::make_scheduler("hios-lp")->schedule(g, flat_model, config);
+  const auto clustered = sched::make_scheduler("hios-lp")->schedule(g, cluster_model, config);
+  EXPECT_GE(clustered.latency_ms, flat.latency_ms - 1e-9);
+}
+
+TEST(Topology, HiosLpAvoidsCrossNodeCuts) {
+  // With punishing cross-node links, HIOS-LP must place a larger share of
+  // dependencies within nodes than across them.
+  models::RandomDagParams p;
+  p.num_ops = 80;
+  p.num_layers = 8;
+  p.num_deps = 160;
+  p.seed = 7;
+  const graph::Graph g = models::random_dag(p);
+  TableCostModel model;
+  model.set_topology(Topology::hierarchical(4, 2, LinkClass{10.0, 0.5}));
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  const auto r = sched::make_scheduler("hios-lp")->schedule(g, model, config);
+  const auto gpu_of = r.schedule.gpu_assignment(g.num_nodes());
+  int cross_node = 0, cross_gpu = 0;
+  for (const auto& e : g.edges()) {
+    const int a = gpu_of[static_cast<std::size_t>(e.src)];
+    const int b = gpu_of[static_cast<std::size_t>(e.dst)];
+    if (a != b) {
+      ++cross_gpu;
+      if (a / 2 != b / 2) ++cross_node;
+    }
+  }
+  EXPECT_LT(cross_node, cross_gpu);  // most cuts stay on the fast links
+}
+
+TEST(Topology, NcclBackendDropsSyncOverhead) {
+  const Platform mpi = make_dual_a40_nvlink();
+  const Platform nccl = with_nccl_backend(mpi);
+  EXPECT_GT(mpi.link.sync_overhead_ms, 0.0);
+  EXPECT_DOUBLE_EQ(nccl.link.sync_overhead_ms, 0.0);
+
+  // NCCL-profiled edges are cheaper, so the best multi-GPU latency can
+  // only improve (§VI-E's suggested implementation improvement).
+  models::InceptionV3Options opt;
+  opt.image_hw = 299;
+  const ops::Model m = models::make_inception_v3(opt);
+  const ProfiledModel pm_mpi = profile_model(m, mpi);
+  const ProfiledModel pm_nccl = profile_model(m, nccl);
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  const auto lp_mpi = sched::make_scheduler("hios-lp")->schedule(pm_mpi.graph, *pm_mpi.cost, config);
+  const auto lp_nccl =
+      sched::make_scheduler("hios-lp")->schedule(pm_nccl.graph, *pm_nccl.cost, config);
+  EXPECT_LE(lp_nccl.latency_ms, lp_mpi.latency_ms + 1e-9);
+}
+
+}  // namespace
+}  // namespace hios::cost
