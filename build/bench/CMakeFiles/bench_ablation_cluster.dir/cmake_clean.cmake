@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cluster.dir/bench_ablation_cluster.cpp.o"
+  "CMakeFiles/bench_ablation_cluster.dir/bench_ablation_cluster.cpp.o.d"
+  "bench_ablation_cluster"
+  "bench_ablation_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intra.dir/bench_ablation_intra.cpp.o"
+  "CMakeFiles/bench_ablation_intra.dir/bench_ablation_intra.cpp.o.d"
+  "bench_ablation_intra"
+  "bench_ablation_intra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ios_beam.dir/bench_ablation_ios_beam.cpp.o"
+  "CMakeFiles/bench_ablation_ios_beam.dir/bench_ablation_ios_beam.cpp.o.d"
+  "bench_ablation_ios_beam"
+  "bench_ablation_ios_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ios_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_throughput.dir/bench_ext_throughput.cpp.o"
+  "CMakeFiles/bench_ext_throughput.dir/bench_ext_throughput.cpp.o.d"
+  "bench_ext_throughput"
+  "bench_ext_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_contention.dir/bench_fig01_contention.cpp.o"
+  "CMakeFiles/bench_fig01_contention.dir/bench_fig01_contention.cpp.o.d"
+  "bench_fig01_contention"
+  "bench_fig01_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

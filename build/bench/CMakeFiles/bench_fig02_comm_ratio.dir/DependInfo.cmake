@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig02_comm_ratio.cpp" "bench/CMakeFiles/bench_fig02_comm_ratio.dir/bench_fig02_comm_ratio.cpp.o" "gcc" "bench/CMakeFiles/bench_fig02_comm_ratio.dir/bench_fig02_comm_ratio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hios_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/hios_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hios_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/hios_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/hios_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/hios_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/hios_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

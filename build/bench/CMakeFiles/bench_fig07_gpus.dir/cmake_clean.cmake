@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_gpus.dir/bench_fig07_gpus.cpp.o"
+  "CMakeFiles/bench_fig07_gpus.dir/bench_fig07_gpus.cpp.o.d"
+  "bench_fig07_gpus"
+  "bench_fig07_gpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_gpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

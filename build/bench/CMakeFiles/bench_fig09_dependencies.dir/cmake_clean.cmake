@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_dependencies.dir/bench_fig09_dependencies.cpp.o"
+  "CMakeFiles/bench_fig09_dependencies.dir/bench_fig09_dependencies.cpp.o.d"
+  "bench_fig09_dependencies"
+  "bench_fig09_dependencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_dependencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_comm.dir/bench_fig11_comm.cpp.o"
+  "CMakeFiles/bench_fig11_comm.dir/bench_fig11_comm.cpp.o.d"
+  "bench_fig11_comm"
+  "bench_fig11_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_demo.dir/engine_demo.cpp.o"
+  "CMakeFiles/engine_demo.dir/engine_demo.cpp.o.d"
+  "engine_demo"
+  "engine_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

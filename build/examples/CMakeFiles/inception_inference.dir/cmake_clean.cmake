@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inception_inference.dir/inception_inference.cpp.o"
+  "CMakeFiles/inception_inference.dir/inception_inference.cpp.o.d"
+  "inception_inference"
+  "inception_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inception_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

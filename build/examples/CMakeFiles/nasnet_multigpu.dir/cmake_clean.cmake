@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nasnet_multigpu.dir/nasnet_multigpu.cpp.o"
+  "CMakeFiles/nasnet_multigpu.dir/nasnet_multigpu.cpp.o.d"
+  "nasnet_multigpu"
+  "nasnet_multigpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nasnet_multigpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

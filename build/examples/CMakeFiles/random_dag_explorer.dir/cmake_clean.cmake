@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_dag_explorer.dir/random_dag_explorer.cpp.o"
+  "CMakeFiles/random_dag_explorer.dir/random_dag_explorer.cpp.o.d"
+  "random_dag_explorer"
+  "random_dag_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_dag_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_runner.dir/schedule_runner.cpp.o"
+  "CMakeFiles/schedule_runner.dir/schedule_runner.cpp.o.d"
+  "schedule_runner"
+  "schedule_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_core.dir/experiment.cpp.o"
+  "CMakeFiles/hios_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/hios_core.dir/memory.cpp.o"
+  "CMakeFiles/hios_core.dir/memory.cpp.o.d"
+  "CMakeFiles/hios_core.dir/pipeline.cpp.o"
+  "CMakeFiles/hios_core.dir/pipeline.cpp.o.d"
+  "libhios_core.a"
+  "libhios_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

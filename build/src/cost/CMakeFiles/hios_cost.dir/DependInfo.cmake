@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/analytical_model.cpp" "src/cost/CMakeFiles/hios_cost.dir/analytical_model.cpp.o" "gcc" "src/cost/CMakeFiles/hios_cost.dir/analytical_model.cpp.o.d"
+  "/root/repo/src/cost/cost_model.cpp" "src/cost/CMakeFiles/hios_cost.dir/cost_model.cpp.o" "gcc" "src/cost/CMakeFiles/hios_cost.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cost/gpu_spec.cpp" "src/cost/CMakeFiles/hios_cost.dir/gpu_spec.cpp.o" "gcc" "src/cost/CMakeFiles/hios_cost.dir/gpu_spec.cpp.o.d"
+  "/root/repo/src/cost/table_model.cpp" "src/cost/CMakeFiles/hios_cost.dir/table_model.cpp.o" "gcc" "src/cost/CMakeFiles/hios_cost.dir/table_model.cpp.o.d"
+  "/root/repo/src/cost/topology.cpp" "src/cost/CMakeFiles/hios_cost.dir/topology.cpp.o" "gcc" "src/cost/CMakeFiles/hios_cost.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/hios_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

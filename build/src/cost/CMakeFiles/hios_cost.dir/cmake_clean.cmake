@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_cost.dir/analytical_model.cpp.o"
+  "CMakeFiles/hios_cost.dir/analytical_model.cpp.o.d"
+  "CMakeFiles/hios_cost.dir/cost_model.cpp.o"
+  "CMakeFiles/hios_cost.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hios_cost.dir/gpu_spec.cpp.o"
+  "CMakeFiles/hios_cost.dir/gpu_spec.cpp.o.d"
+  "CMakeFiles/hios_cost.dir/table_model.cpp.o"
+  "CMakeFiles/hios_cost.dir/table_model.cpp.o.d"
+  "CMakeFiles/hios_cost.dir/topology.cpp.o"
+  "CMakeFiles/hios_cost.dir/topology.cpp.o.d"
+  "libhios_cost.a"
+  "libhios_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

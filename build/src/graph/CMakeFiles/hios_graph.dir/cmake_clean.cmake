@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/hios_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/hios_graph.dir/dot.cpp.o"
+  "CMakeFiles/hios_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/hios_graph.dir/graph.cpp.o"
+  "CMakeFiles/hios_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/hios_graph.dir/graph_json.cpp.o"
+  "CMakeFiles/hios_graph.dir/graph_json.cpp.o.d"
+  "CMakeFiles/hios_graph.dir/longest_path.cpp.o"
+  "CMakeFiles/hios_graph.dir/longest_path.cpp.o.d"
+  "libhios_graph.a"
+  "libhios_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/examples.cpp" "src/models/CMakeFiles/hios_models.dir/examples.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/examples.cpp.o.d"
+  "/root/repo/src/models/inception.cpp" "src/models/CMakeFiles/hios_models.dir/inception.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/inception.cpp.o.d"
+  "/root/repo/src/models/nasnet.cpp" "src/models/CMakeFiles/hios_models.dir/nasnet.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/nasnet.cpp.o.d"
+  "/root/repo/src/models/random_dag.cpp" "src/models/CMakeFiles/hios_models.dir/random_dag.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/random_dag.cpp.o.d"
+  "/root/repo/src/models/randwire.cpp" "src/models/CMakeFiles/hios_models.dir/randwire.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/randwire.cpp.o.d"
+  "/root/repo/src/models/resnet.cpp" "src/models/CMakeFiles/hios_models.dir/resnet.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/resnet.cpp.o.d"
+  "/root/repo/src/models/squeezenet.cpp" "src/models/CMakeFiles/hios_models.dir/squeezenet.cpp.o" "gcc" "src/models/CMakeFiles/hios_models.dir/squeezenet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/hios_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_models.dir/examples.cpp.o"
+  "CMakeFiles/hios_models.dir/examples.cpp.o.d"
+  "CMakeFiles/hios_models.dir/inception.cpp.o"
+  "CMakeFiles/hios_models.dir/inception.cpp.o.d"
+  "CMakeFiles/hios_models.dir/nasnet.cpp.o"
+  "CMakeFiles/hios_models.dir/nasnet.cpp.o.d"
+  "CMakeFiles/hios_models.dir/random_dag.cpp.o"
+  "CMakeFiles/hios_models.dir/random_dag.cpp.o.d"
+  "CMakeFiles/hios_models.dir/randwire.cpp.o"
+  "CMakeFiles/hios_models.dir/randwire.cpp.o.d"
+  "CMakeFiles/hios_models.dir/resnet.cpp.o"
+  "CMakeFiles/hios_models.dir/resnet.cpp.o.d"
+  "CMakeFiles/hios_models.dir/squeezenet.cpp.o"
+  "CMakeFiles/hios_models.dir/squeezenet.cpp.o.d"
+  "libhios_models.a"
+  "libhios_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/kernels.cpp" "src/ops/CMakeFiles/hios_ops.dir/kernels.cpp.o" "gcc" "src/ops/CMakeFiles/hios_ops.dir/kernels.cpp.o.d"
+  "/root/repo/src/ops/model.cpp" "src/ops/CMakeFiles/hios_ops.dir/model.cpp.o" "gcc" "src/ops/CMakeFiles/hios_ops.dir/model.cpp.o.d"
+  "/root/repo/src/ops/op.cpp" "src/ops/CMakeFiles/hios_ops.dir/op.cpp.o" "gcc" "src/ops/CMakeFiles/hios_ops.dir/op.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_ops.dir/kernels.cpp.o"
+  "CMakeFiles/hios_ops.dir/kernels.cpp.o.d"
+  "CMakeFiles/hios_ops.dir/model.cpp.o"
+  "CMakeFiles/hios_ops.dir/model.cpp.o.d"
+  "CMakeFiles/hios_ops.dir/op.cpp.o"
+  "CMakeFiles/hios_ops.dir/op.cpp.o.d"
+  "libhios_ops.a"
+  "libhios_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

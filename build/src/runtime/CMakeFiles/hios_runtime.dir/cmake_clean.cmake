@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_runtime.dir/engine.cpp.o"
+  "CMakeFiles/hios_runtime.dir/engine.cpp.o.d"
+  "libhios_runtime.a"
+  "libhios_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

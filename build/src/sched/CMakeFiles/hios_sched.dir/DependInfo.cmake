@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/bounds.cpp" "src/sched/CMakeFiles/hios_sched.dir/bounds.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/bounds.cpp.o.d"
+  "/root/repo/src/sched/brute_force.cpp" "src/sched/CMakeFiles/hios_sched.dir/brute_force.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/brute_force.cpp.o.d"
+  "/root/repo/src/sched/evaluate.cpp" "src/sched/CMakeFiles/hios_sched.dir/evaluate.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/evaluate.cpp.o.d"
+  "/root/repo/src/sched/hios_lp.cpp" "src/sched/CMakeFiles/hios_sched.dir/hios_lp.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/hios_lp.cpp.o.d"
+  "/root/repo/src/sched/hios_mr.cpp" "src/sched/CMakeFiles/hios_sched.dir/hios_mr.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/hios_mr.cpp.o.d"
+  "/root/repo/src/sched/ios.cpp" "src/sched/CMakeFiles/hios_sched.dir/ios.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/ios.cpp.o.d"
+  "/root/repo/src/sched/ios_intra.cpp" "src/sched/CMakeFiles/hios_sched.dir/ios_intra.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/ios_intra.cpp.o.d"
+  "/root/repo/src/sched/list_schedule.cpp" "src/sched/CMakeFiles/hios_sched.dir/list_schedule.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/list_schedule.cpp.o.d"
+  "/root/repo/src/sched/parallelize.cpp" "src/sched/CMakeFiles/hios_sched.dir/parallelize.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/parallelize.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/hios_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler_factory.cpp" "src/sched/CMakeFiles/hios_sched.dir/scheduler_factory.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/scheduler_factory.cpp.o.d"
+  "/root/repo/src/sched/sequential.cpp" "src/sched/CMakeFiles/hios_sched.dir/sequential.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/sequential.cpp.o.d"
+  "/root/repo/src/sched/validate.cpp" "src/sched/CMakeFiles/hios_sched.dir/validate.cpp.o" "gcc" "src/sched/CMakeFiles/hios_sched.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cost/CMakeFiles/hios_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/hios_ops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

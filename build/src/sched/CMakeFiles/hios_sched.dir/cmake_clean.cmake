@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_sched.dir/bounds.cpp.o"
+  "CMakeFiles/hios_sched.dir/bounds.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/brute_force.cpp.o"
+  "CMakeFiles/hios_sched.dir/brute_force.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/evaluate.cpp.o"
+  "CMakeFiles/hios_sched.dir/evaluate.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/hios_lp.cpp.o"
+  "CMakeFiles/hios_sched.dir/hios_lp.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/hios_mr.cpp.o"
+  "CMakeFiles/hios_sched.dir/hios_mr.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/ios.cpp.o"
+  "CMakeFiles/hios_sched.dir/ios.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/ios_intra.cpp.o"
+  "CMakeFiles/hios_sched.dir/ios_intra.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/list_schedule.cpp.o"
+  "CMakeFiles/hios_sched.dir/list_schedule.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/parallelize.cpp.o"
+  "CMakeFiles/hios_sched.dir/parallelize.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/schedule.cpp.o"
+  "CMakeFiles/hios_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/scheduler_factory.cpp.o"
+  "CMakeFiles/hios_sched.dir/scheduler_factory.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/sequential.cpp.o"
+  "CMakeFiles/hios_sched.dir/sequential.cpp.o.d"
+  "CMakeFiles/hios_sched.dir/validate.cpp.o"
+  "CMakeFiles/hios_sched.dir/validate.cpp.o.d"
+  "libhios_sched.a"
+  "libhios_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

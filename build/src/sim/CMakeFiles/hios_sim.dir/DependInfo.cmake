@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_sim.cpp" "src/sim/CMakeFiles/hios_sim.dir/event_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hios_sim.dir/event_sim.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/hios_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/hios_sim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/svg_export.cpp" "src/sim/CMakeFiles/hios_sim.dir/svg_export.cpp.o" "gcc" "src/sim/CMakeFiles/hios_sim.dir/svg_export.cpp.o.d"
+  "/root/repo/src/sim/timeline.cpp" "src/sim/CMakeFiles/hios_sim.dir/timeline.cpp.o" "gcc" "src/sim/CMakeFiles/hios_sim.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/hios_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/hios_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hios_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hios_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ops/CMakeFiles/hios_ops.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

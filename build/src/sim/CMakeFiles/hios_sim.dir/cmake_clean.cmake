@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_sim.dir/event_sim.cpp.o"
+  "CMakeFiles/hios_sim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/hios_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/hios_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/hios_sim.dir/svg_export.cpp.o"
+  "CMakeFiles/hios_sim.dir/svg_export.cpp.o.d"
+  "CMakeFiles/hios_sim.dir/timeline.cpp.o"
+  "CMakeFiles/hios_sim.dir/timeline.cpp.o.d"
+  "libhios_sim.a"
+  "libhios_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hios_util.dir/args.cpp.o"
+  "CMakeFiles/hios_util.dir/args.cpp.o.d"
+  "CMakeFiles/hios_util.dir/json.cpp.o"
+  "CMakeFiles/hios_util.dir/json.cpp.o.d"
+  "CMakeFiles/hios_util.dir/logging.cpp.o"
+  "CMakeFiles/hios_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hios_util.dir/rng.cpp.o"
+  "CMakeFiles/hios_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hios_util.dir/table.cpp.o"
+  "CMakeFiles/hios_util.dir/table.cpp.o.d"
+  "libhios_util.a"
+  "libhios_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hios_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhios_util.a"
+)

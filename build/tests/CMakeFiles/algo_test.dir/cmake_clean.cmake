@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algo_test.dir/hios_lp_test.cpp.o"
+  "CMakeFiles/algo_test.dir/hios_lp_test.cpp.o.d"
+  "CMakeFiles/algo_test.dir/hios_mr_test.cpp.o"
+  "CMakeFiles/algo_test.dir/hios_mr_test.cpp.o.d"
+  "CMakeFiles/algo_test.dir/sequential_ios_test.cpp.o"
+  "CMakeFiles/algo_test.dir/sequential_ios_test.cpp.o.d"
+  "algo_test"
+  "algo_test.pdb"
+  "algo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
