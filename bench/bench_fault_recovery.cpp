@@ -1,0 +1,101 @@
+// Robustness study: fault injection and failover recovery.
+//
+// The paper's engine assumes a fault-free machine; this bench measures
+// what HIOS-grade schedules cost to *repair* when the machine misbehaves.
+// A thin Inception-v3 is scheduled on 4 virtual GPUs with HIOS-MR (which
+// spreads this model across GPUs, so links actually carry tensors), random
+// fault plans are replayed against it, and the failover layer reschedules
+// the residual work onto the survivors. Reported per scenario: how often the plan
+// actually disturbed the run, the virtual time to detect the first fatal
+// fault, the wall-clock cost of rescheduling, and the degraded makespan
+// relative to the fault-free baseline.
+#include "bench_common.h"
+
+using namespace hios;
+
+namespace {
+
+struct Scenario {
+  std::string label;
+  fault::FaultPlan::RandomParams params;
+};
+
+}  // namespace
+
+int main() {
+  const int instances = bench::instances_per_point();
+  bench::print_header("Robustness: failover recovery",
+                      "random fault plans vs a 4-GPU HIOS-MR Inception schedule");
+
+  models::InceptionV3Options mopt;
+  mopt.image_hw = 96;
+  mopt.channel_scale = 16;
+  const ops::Model model = models::make_inception_v3(mopt);
+  const int gpus = 4;
+  const cost::ProfiledModel pm = cost::profile_model(model, cost::make_a40_server(gpus));
+  sched::SchedulerConfig config;
+  config.num_gpus = gpus;
+  const auto planned = sched::make_scheduler("hios-mr")->schedule(pm.graph, *pm.cost, config);
+  std::printf("fault-free baseline: %.4f ms (%d ops, %d GPUs)\n\n", planned.latency_ms,
+              model.num_compute_ops(), gpus);
+
+  fault::FaultPlan::RandomParams base;
+  base.num_gpus = gpus;
+  base.horizon_ms = planned.latency_ms;
+
+  std::vector<Scenario> scenarios;
+  for (int fails = 1; fails <= 3; ++fails) {
+    Scenario s{"fail-stop x" + std::to_string(fails), base};
+    s.params.num_fail_stops = fails;
+    scenarios.push_back(s);
+  }
+  {
+    Scenario s{"link faults x2", base};
+    s.params.num_fail_stops = 0;
+    s.params.num_link_faults = 2;
+    scenarios.push_back(s);
+    s.label = "stragglers x2";
+    s.params.num_link_faults = 0;
+    s.params.num_stragglers = 2;
+    scenarios.push_back(s);
+  }
+
+  TextTable table;
+  table.set_header({"scenario", "disturbed%", "rescheduled%", "detect_ms", "resched_wall_ms",
+                    "degraded_ms", "slowdown_x"});
+  for (const Scenario& scenario : scenarios) {
+    RunningStats detect, resched, degraded, slowdown;
+    int disturbed = 0, recovered_via_resched = 0;
+    for (int i = 1; i <= instances; ++i) {
+      const fault::FaultPlan plan =
+          fault::FaultPlan::random(scenario.params, static_cast<uint64_t>(i));
+      runtime::FailoverOptions fopts;
+      fopts.algorithm = "hios-mr";
+      const runtime::FailoverResult run = runtime::execute_with_failover(
+          model, pm.graph, planned.schedule, pm.cost, plan, {}, fopts);
+      // Disturbed = anything observable: a recovery, or (stragglers /
+      // survivable link outages) a slower-than-baseline complete run.
+      if (run.metrics.fault_occurred ||
+          run.total_latency_ms > planned.latency_ms * (1.0 + 1e-9))
+        ++disturbed;
+      slowdown.add(run.total_latency_ms / planned.latency_ms);
+      if (run.metrics.ops_rescheduled == 0) continue;  // no rescheduling needed
+      ++recovered_via_resched;
+      detect.add(run.metrics.detection_ms);
+      resched.add(run.metrics.reschedule_wall_ms);
+      degraded.add(run.metrics.degraded_makespan_ms);
+    }
+    table.add_row({scenario.label, TextTable::num(100.0 * disturbed / instances, 0),
+                   TextTable::num(100.0 * recovered_via_resched / instances, 0),
+                   bench::mean_std(detect, 3), bench::mean_std(resched, 2),
+                   bench::mean_std(degraded, 3), bench::mean_std(slowdown, 2)});
+    std::fflush(stdout);
+  }
+  bench::print_table(table, "fault_recovery");
+  bench::print_expectation(
+      "every disturbed run recovers with bit-exact outputs; degraded makespan grows "
+      "with the number of failed GPUs (less residual parallelism plus recomputation "
+      "of tensors lost with the dead GPUs), while rescheduling itself stays in the "
+      "millisecond range — failover is dominated by re-execution, not by planning.");
+  return 0;
+}

@@ -17,8 +17,10 @@
 //   models/  Inception-v3, NASNet-A, random layered DAGs, toy graphs
 //   cost/    GPU/interconnect specs, analytical + table cost models
 //   sched/   Sequential, IOS, HIOS-LP, HIOS-MR (+ inter-GPU-only ablations)
+//   fault/   deterministic fault-injection plans (fail-stop, links, stragglers)
 //   sim/     stage- and op-level discrete-event simulators, trace export
 //   runtime/ virtual-GPU engine (threads + MPI-like channels, real tensors)
+//            + failover rescheduling onto surviving GPUs
 //   core/    pipeline + experiment helpers
 #pragma once
 
@@ -27,7 +29,9 @@
 #include "core/pipeline.h"
 #include "cost/analytical_model.h"
 #include "cost/gpu_spec.h"
+#include "cost/remap_model.h"
 #include "cost/table_model.h"
+#include "fault/fault_plan.h"
 #include "graph/algorithms.h"
 #include "graph/dot.h"
 #include "graph/graph.h"
@@ -43,16 +47,19 @@
 #include "ops/kernels.h"
 #include "ops/model.h"
 #include "runtime/engine.h"
+#include "runtime/failover.h"
 #include "sched/bounds.h"
 #include "sched/brute_force.h"
 #include "sched/evaluate.h"
 #include "sched/ios_intra.h"
 #include "sched/list_schedule.h"
 #include "sched/parallelize.h"
+#include "sched/residual.h"
 #include "sched/schedule.h"
 #include "sched/scheduler.h"
 #include "sched/validate.h"
 #include "sim/event_sim.h"
+#include "sim/fault_sim.h"
 #include "sim/pipeline_sim.h"
 #include "sim/svg_export.h"
 #include "sim/timeline.h"

@@ -1,0 +1,20 @@
+#include "cost/remap_model.h"
+
+namespace hios::cost {
+
+double RemappedCostModel::stage_time(const graph::Graph& g,
+                                     std::span<const graph::NodeId> stage) const {
+  HIOS_CHECK(!stage.empty(), "stage_time of empty stage");
+  (void)g;
+  // Boundary nodes hold tensors computed before this run; they occupy no
+  // GPU time, so the base model prices only the real ops.
+  std::vector<graph::NodeId> orig;
+  orig.reserve(stage.size());
+  for (graph::NodeId v : stage) {
+    if (!boundary(v)) orig.push_back(translate(v));
+  }
+  if (orig.empty()) return 0.0;
+  return base_->stage_time(*base_graph_, std::span<const graph::NodeId>(orig));
+}
+
+}  // namespace hios::cost

@@ -5,34 +5,75 @@
 // by (edge) tag. Unbounded buffering: a send never blocks (like a buffered
 // eager-protocol MPI send for small control messages), a receive blocks
 // until the matching message arrives.
+//
+// Hardened against peer failure: a channel can be *closed* (poison pill).
+// Messages sent before the close are still drained in order; once the
+// buffer is empty a closed channel's recv returns kClosed instead of
+// blocking forever — so a dead producer can never hang its consumer. recv
+// also takes an optional wall-clock deadline (the engine's watchdog) and
+// reports kTimeout when it expires.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 namespace hios::runtime {
 
-/// Unbounded thread-safe FIFO channel.
+/// Result of a (possibly deadlined) receive.
+enum class RecvStatus {
+  kOk,      ///< a message was delivered
+  kClosed,  ///< channel closed and drained: no message will ever arrive
+  kTimeout, ///< the deadline expired first
+};
+
+/// Unbounded thread-safe FIFO channel with a closed state.
 template <typename T>
 class Channel {
  public:
+  /// Sends are allowed after close (the producer may race its own
+  /// shutdown); such messages are dropped, matching a crashed peer.
   void send(T value) {
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) return;
       queue_.push_back(std::move(value));
     }
     cv_.notify_one();
   }
 
-  /// Blocks until a message is available.
-  T recv() {
+  /// Marks the channel dead and wakes every waiting receiver. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Blocks until a message is available or the channel is closed+drained.
+  RecvStatus recv(T& out) {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return !queue_.empty(); });
-    T value = std::move(queue_.front());
-    queue_.pop_front();
-    return value;
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    return take(out);
+  }
+
+  /// Like recv but gives up at `deadline` (steady clock).
+  RecvStatus recv_until(T& out, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!cv_.wait_until(lock, deadline, [&] { return !queue_.empty() || closed_; }))
+      return RecvStatus::kTimeout;
+    return take(out);
+  }
+
+  /// Convenience blocking receive: nullopt when closed+drained.
+  std::optional<T> recv() {
+    T value;
+    return recv(value) == RecvStatus::kOk ? std::optional<T>(std::move(value))
+                                          : std::nullopt;
   }
 
   bool empty() const {
@@ -40,10 +81,24 @@ class Channel {
     return queue_.empty();
   }
 
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
  private:
+  /// Pops under the caller's lock; empty implies closed (wait guarantees).
+  RecvStatus take(T& out) {
+    if (queue_.empty()) return RecvStatus::kClosed;
+    out = std::move(queue_.front());
+    queue_.pop_front();
+    return RecvStatus::kOk;
+  }
+
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<T> queue_;
+  bool closed_ = false;
 };
 
 }  // namespace hios::runtime

@@ -1,0 +1,72 @@
+#include "sched/residual.h"
+
+#include <algorithm>
+
+namespace hios::sched {
+
+ResidualProblem build_residual(const graph::Graph& g, const std::vector<char>& available) {
+  HIOS_CHECK(available.size() == g.num_nodes(), "availability mask size mismatch");
+  const std::size_t n = g.num_nodes();
+
+  ResidualProblem res;
+  res.graph.set_name(g.name() + "+residual");
+  std::vector<graph::NodeId> new_id(n, graph::kInvalidNode);
+
+  // Residual ops first, in original id order (preserves topological order).
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(n); ++v) {
+    if (available[static_cast<std::size_t>(v)]) continue;
+    new_id[static_cast<std::size_t>(v)] =
+        res.graph.add_node(g.node_name(v), g.node_weight(v), g.node_tag(v));
+    res.orig_of.push_back(v);
+    res.is_boundary.push_back(0);
+    ++res.num_residual_ops;
+  }
+  HIOS_CHECK(res.num_residual_ops > 0, "no residual work: nothing to reschedule");
+
+  // Boundary inputs: available producers feeding residual consumers.
+  for (const graph::Edge& e : g.edges()) {
+    if (!available[static_cast<std::size_t>(e.src)] ||
+        available[static_cast<std::size_t>(e.dst)])
+      continue;
+    if (new_id[static_cast<std::size_t>(e.src)] != graph::kInvalidNode) continue;
+    new_id[static_cast<std::size_t>(e.src)] =
+        res.graph.add_node(g.node_name(e.src), 0.0, g.node_tag(e.src));
+    res.orig_of.push_back(e.src);
+    res.is_boundary.push_back(1);
+    ++res.num_boundary;
+  }
+
+  // Edges between present nodes (residual-residual and boundary-residual).
+  for (const graph::Edge& e : g.edges()) {
+    if (available[static_cast<std::size_t>(e.dst)]) continue;
+    const graph::NodeId u = new_id[static_cast<std::size_t>(e.src)];
+    const graph::NodeId v = new_id[static_cast<std::size_t>(e.dst)];
+    HIOS_ASSERT(u != graph::kInvalidNode && v != graph::kInvalidNode,
+                "residual edge endpoint missing");
+    res.graph.add_edge(u, v, e.weight);
+  }
+  return res;
+}
+
+Schedule lift_residual_schedule(const ResidualProblem& residual, const Schedule& schedule,
+                                const std::vector<int>& survivors, int num_gpus) {
+  HIOS_CHECK(schedule.num_gpus == static_cast<int>(survivors.size()),
+             "residual schedule does not match the survivor set");
+  Schedule lifted(num_gpus);
+  for (int c = 0; c < schedule.num_gpus; ++c) {
+    const int orig_gpu = survivors[static_cast<std::size_t>(c)];
+    HIOS_CHECK(orig_gpu >= 0 && orig_gpu < num_gpus, "bad survivor gpu id");
+    for (const Stage& stage : schedule.gpus[static_cast<std::size_t>(c)]) {
+      Stage out;
+      for (graph::NodeId v : stage.ops) {
+        if (residual.is_boundary[static_cast<std::size_t>(v)]) continue;
+        out.ops.push_back(residual.orig_of[static_cast<std::size_t>(v)]);
+      }
+      if (!out.ops.empty())
+        lifted.gpus[static_cast<std::size_t>(orig_gpu)].push_back(std::move(out));
+    }
+  }
+  return lifted;
+}
+
+}  // namespace hios::sched

@@ -1,0 +1,43 @@
+// Residual-graph extraction for failover rescheduling.
+//
+// After a fail-stop fault aborts an execution mid-run, the work left over
+// is itself a DAG-scheduling problem: the *residual graph* holds every op
+// that still needs to run (unfinished ops, plus ops whose tensors died
+// with a failed GPU and must be recomputed), while tensors that survived
+// on live GPUs enter as zero-weight *boundary* nodes — new inputs whose
+// outgoing edges keep the original transfer weights (the live tensor must
+// still be re-sent to wherever its consumer lands). Re-running HIOS-LP on
+// this graph over the surviving GPUs is exactly the paper's scheduling
+// problem again, so failover needs no new algorithm.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "sched/schedule.h"
+
+namespace hios::sched {
+
+/// A rescheduling problem carved out of a partially-executed graph.
+struct ResidualProblem {
+  graph::Graph graph;                 ///< residual ops + boundary inputs
+  std::vector<graph::NodeId> orig_of; ///< residual node -> original node
+  std::vector<char> is_boundary;      ///< per residual node
+  std::size_t num_boundary = 0;
+  std::size_t num_residual_ops = 0;   ///< real ops to (re)compute
+};
+
+/// Builds the residual problem of `g` given `available[v]` = 1 when v's
+/// output tensor survived (executed on a GPU that is still alive). Node
+/// names, tags (model op ids), and edge weights carry over; boundary
+/// nodes get weight 0. Throws when nothing is left to schedule.
+ResidualProblem build_residual(const graph::Graph& g, const std::vector<char>& available);
+
+/// Lifts a schedule of the residual graph (compact GPU indices over
+/// `survivors`) back onto original node ids and original GPU ids, dropping
+/// boundary stages' zero-cost placeholder ops where a stage holds nothing
+/// else. Used for reporting the spliced recovery schedule.
+Schedule lift_residual_schedule(const ResidualProblem& residual, const Schedule& schedule,
+                                const std::vector<int>& survivors, int num_gpus);
+
+}  // namespace hios::sched

@@ -1,0 +1,44 @@
+// Fault-aware discrete-event simulation.
+//
+// Replays a fault::FaultPlan against a schedule under *exactly* the
+// semantics of the hardened virtual-GPU engine, in virtual time:
+//   * per-GPU stages execute in listed order; a stage's start folds local
+//     producers' stage-finish times and remote transfer arrivals;
+//   * fail-stop: a GPU dies before any stage starting at/after its fail
+//     time (a stage that started earlier completes, including its sends);
+//   * a worker whose dependency can never arrive (producer died or a
+//     link's retry budget exhausted) stops at that stage — and, like the
+//     engine's closed-channel protocol, everything it would have sent
+//     later is dead to its consumers;
+//   * transfers are resolved with the plan's retry/backoff arithmetic and
+//     every failed attempt is recorded as a kRetry timeline event;
+//   * stragglers scale stage durations from their onset time.
+// The engine and this simulator must report identical post-fault
+// makespans and executed-op sets — that is the repo's determinism
+// guarantee extended to faulty runs, and it is asserted in tests.
+#pragma once
+
+#include "cost/cost_model.h"
+#include "fault/fault_plan.h"
+#include "sched/schedule.h"
+#include "sim/timeline.h"
+
+namespace hios::sim {
+
+/// Outcome of one simulated faulty run.
+struct FaultyRun {
+  Timeline timeline;                 ///< executed stages + transfers + retries
+  bool complete = true;              ///< every op executed
+  double makespan_ms = 0.0;          ///< max finish over executed stages
+  std::vector<char> executed;        ///< per graph node
+  std::vector<double> node_finish_ms;///< per graph node; -1 when not executed
+  std::vector<fault::FaultObservation> observations;
+};
+
+/// Stage-level fault-aware simulation of `schedule` under `plan`.
+/// The schedule must be valid (throws otherwise, like the engine).
+FaultyRun simulate_stages_faulty(const graph::Graph& g, const sched::Schedule& schedule,
+                                 const cost::CostModel& cost,
+                                 const fault::FaultPlan& plan);
+
+}  // namespace hios::sim

@@ -17,8 +17,10 @@ Json Timeline::to_chrome_trace() const {
     entry["pid"] = e.kind == TimelineEvent::Kind::kCompute ? e.gpu : 1000 + e.gpu;
     entry["tid"] = e.kind == TimelineEvent::Kind::kCompute ? e.stage : e.peer_gpu;
     Json args = Json::object();
-    args["kind"] = e.kind == TimelineEvent::Kind::kCompute ? "compute" : "transfer";
-    if (e.kind == TimelineEvent::Kind::kTransfer) args["dst_gpu"] = e.peer_gpu;
+    args["kind"] = e.kind == TimelineEvent::Kind::kCompute    ? "compute"
+                   : e.kind == TimelineEvent::Kind::kTransfer ? "transfer"
+                                                              : "retry";
+    if (e.kind != TimelineEvent::Kind::kCompute) args["dst_gpu"] = e.peer_gpu;
     entry["args"] = std::move(args);
     events_json.push_back(std::move(entry));
   }
@@ -33,7 +35,8 @@ std::string Timeline::to_ascii_gantt(int columns) const {
   if (events.empty() || latency_ms <= 0.0) return "(empty timeline)\n";
   const double scale = static_cast<double>(columns) / latency_ms;
   std::ostringstream os;
-  os << "latency " << latency_ms << " ms | '#'=compute '~'=transfer, one row per event\n";
+  os << "latency " << latency_ms
+     << " ms | '#'=compute '~'=transfer '!'=retry, one row per event\n";
   // Group rows by GPU for readability.
   std::vector<TimelineEvent> sorted = events;
   std::stable_sort(sorted.begin(), sorted.end(), [](const TimelineEvent& a, const TimelineEvent& b) {
@@ -46,13 +49,18 @@ std::string Timeline::to_ascii_gantt(int columns) const {
       os << "GPU " << e.gpu << ":\n";
       last_gpu = e.gpu;
     }
-    const int begin = static_cast<int>(std::floor(e.start_ms * scale));
+    // Retry/transfer tails can outlive the executed makespan on faulted
+    // runs; clamp into the plot instead of overflowing the row.
+    const int begin =
+        std::min(static_cast<int>(std::floor(e.start_ms * scale)), columns - 1);
     int end = static_cast<int>(std::ceil(e.finish_ms * scale));
     end = std::max(end, begin + 1);
     end = std::min(end, columns);
+    const char glyph = e.kind == TimelineEvent::Kind::kCompute    ? '#'
+                       : e.kind == TimelineEvent::Kind::kTransfer ? '~'
+                                                                  : '!';
     os << "  |" << std::string(static_cast<std::size_t>(begin), ' ')
-       << std::string(static_cast<std::size_t>(end - begin),
-                      e.kind == TimelineEvent::Kind::kCompute ? '#' : '~')
+       << std::string(static_cast<std::size_t>(end - begin), glyph)
        << std::string(static_cast<std::size_t>(columns - end), ' ') << "| " << e.name << '\n';
   }
   return os.str();

@@ -10,13 +10,14 @@
 
 namespace hios::sim {
 
-/// One timeline entry (compute op or inter-GPU transfer).
+/// One timeline entry (compute op, inter-GPU transfer, or a failed
+/// transfer attempt waiting out its retry backoff under fault injection).
 struct TimelineEvent {
-  enum class Kind { kCompute, kTransfer };
+  enum class Kind { kCompute, kTransfer, kRetry };
   Kind kind = Kind::kCompute;
   std::string name;
-  int gpu = 0;          ///< executing GPU (transfers: source GPU)
-  int peer_gpu = -1;    ///< transfers: destination GPU
+  int gpu = 0;          ///< executing GPU (transfers/retries: source GPU)
+  int peer_gpu = -1;    ///< transfers/retries: destination GPU
   int stage = -1;       ///< stage index on the GPU (compute only)
   double start_ms = 0.0;
   double finish_ms = 0.0;

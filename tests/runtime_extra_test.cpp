@@ -30,7 +30,7 @@ TEST(Channel, FifoOrderSingleThread) {
 TEST(Channel, BlockingRecvWakesOnSend) {
   Channel<int> ch;
   int got = 0;
-  std::thread consumer([&] { got = ch.recv(); });
+  std::thread consumer([&] { got = ch.recv().value_or(-1); });
   // The consumer blocks until this send.
   ch.send(42);
   consumer.join();
@@ -46,7 +46,7 @@ TEST(Channel, ManyMessagesAcrossThreads) {
   long long sum = 0;
   int last = -1;
   for (int i = 0; i < kCount; ++i) {
-    const int v = ch.recv();
+    const int v = ch.recv().value();
     EXPECT_EQ(v, last + 1);  // order preserved (single producer/consumer)
     last = v;
     sum += v;
@@ -59,8 +59,57 @@ TEST(Channel, MoveOnlyPayload) {
   Channel<std::unique_ptr<int>> ch;
   ch.send(std::make_unique<int>(7));
   const auto p = ch.recv();
-  ASSERT_TRUE(p);
-  EXPECT_EQ(*p, 7);
+  ASSERT_TRUE(p.has_value() && *p != nullptr);
+  EXPECT_EQ(**p, 7);
+}
+
+TEST(Channel, CloseUnblocksWaitingReceiver) {
+  Channel<int> ch;
+  RecvStatus st = RecvStatus::kOk;
+  std::thread consumer([&] {
+    int v = 0;
+    st = ch.recv(v);
+  });
+  // The consumer is (about to be) blocked with nothing buffered; close must
+  // wake it with kClosed rather than leave it waiting forever.
+  ch.close();
+  consumer.join();
+  EXPECT_EQ(st, RecvStatus::kClosed);
+  EXPECT_TRUE(ch.closed());
+}
+
+TEST(Channel, CloseDrainsBufferedMessagesFirst) {
+  Channel<int> ch;
+  ch.send(1);
+  ch.send(2);
+  ch.close();
+  int v = 0;
+  EXPECT_EQ(ch.recv(v), RecvStatus::kOk);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(ch.recv(v), RecvStatus::kOk);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(ch.recv(v), RecvStatus::kClosed);
+  EXPECT_EQ(ch.recv(v), RecvStatus::kClosed);  // stays closed
+}
+
+TEST(Channel, SendAfterCloseIsDropped) {
+  Channel<int> ch;
+  ch.close();
+  ch.close();  // idempotent
+  ch.send(5);
+  int v = 0;
+  EXPECT_EQ(ch.recv(v), RecvStatus::kClosed);
+}
+
+TEST(Channel, RecvUntilTimesOut) {
+  Channel<int> ch;
+  int v = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(20);
+  EXPECT_EQ(ch.recv_until(v, deadline), RecvStatus::kTimeout);
+  ch.send(9);
+  EXPECT_EQ(ch.recv_until(v, deadline), RecvStatus::kOk);  // past deadline but buffered
+  EXPECT_EQ(v, 9);
 }
 
 TEST(Engine, WorkerExceptionPropagatesToCaller) {

@@ -119,6 +119,21 @@ TEST(Validate, DetectsExecutionOrderDeadlock) {
   EXPECT_NE(v.back().find("cycle"), std::string::npos);
 }
 
+TEST(Validate, DetectsGroupedStageCycle) {
+  // Each stage is internally independent, yet the stage DAG is cyclic:
+  // GPU 0's stage {0, 3} and GPU 1's stage {1, 2} wait on each other.
+  graph::Graph g("cross");
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i), 1.0);
+  g.add_edge(0, 1, 0.1);
+  g.add_edge(2, 3, 0.1);
+  Schedule s(2);
+  s.gpus[0].push_back(Stage{{0, 3}});
+  s.gpus[1].push_back(Stage{{1, 2}});
+  const auto v = validate_schedule(g, s);
+  ASSERT_FALSE(v.empty());
+  EXPECT_NE(v.back().find("cycle"), std::string::npos);
+}
+
 TEST(Validate, DetectsEmptyStageAndBadNode) {
   const graph::Graph g = models::make_chain(1);
   Schedule s(1);

@@ -67,6 +67,21 @@ TEST(SimulateStages, DeadlockReturnsNullopt) {
   EXPECT_FALSE(simulate_ops(g, s, kCost).has_value());
 }
 
+TEST(SimulateStages, GroupedStageCycleReturnsNullopt) {
+  // Two disjoint edges (0->1, 2->3) grouped so the stage DAG is cyclic:
+  // GPU 0's stage {0, 3} waits on GPU 1's stage {1, 2} and vice versa —
+  // each stage holds independent ops, so only the *stage* level deadlocks.
+  graph::Graph g("cross");
+  for (int i = 0; i < 4; ++i) g.add_node("n" + std::to_string(i), 1.0);
+  g.add_edge(0, 1, 0.1);
+  g.add_edge(2, 3, 0.1);
+  sched::Schedule s(2);
+  s.gpus[0].push_back(sched::Stage{{0, 3}});
+  s.gpus[1].push_back(sched::Stage{{1, 2}});
+  EXPECT_FALSE(simulate_stages(g, s, kCost).has_value());
+  EXPECT_FALSE(simulate_ops(g, s, kCost).has_value());
+}
+
 TEST(SimulateOps, EqualsStageModelWhenNoRelaxationPossible) {
   // A pure chain has nothing to relax: identical latency in both models.
   const graph::Graph g = models::make_chain(5, 1.0, 0.3);
