@@ -5,61 +5,159 @@
 // operator, transfer, and candidate concurrent group — simulated as 36
 // runs of each distinct quantity the algorithm queried from the cost model
 // — plus (ii) the algorithm's own wall-clock runtime.
+//
+// Besides the sweep, the harness measures the raw scheduling wall-clock of
+// HIOS-LP (with the Alg. 2 parallelize pass) on a 512-op / 4-GPU random
+// DAG — the regression benchmark for the incremental scheduling core
+// (sched/core/, see DESIGN.md §6d). Flags:
+//   --json <path>       write all results as machine-readable JSON
+//   --smoke             skip the image-size sweeps (CI regression mode)
+//   --assert-max-ms <b> exit 1 when the 512-op wall-clock exceeds b ms
+#include <fstream>
+
 #include "bench_common.h"
+#include "util/args.h"
+#include "util/json.h"
 
 using namespace hios;
 
 namespace {
 
 void sweep(const std::string& title, const std::vector<int64_t>& sizes,
-           const std::function<ops::Model(int64_t)>& build, const std::string& csv_tag) {
+           const std::function<ops::Model(int64_t)>& build, const std::string& csv_tag,
+           Json& out) {
   TextTable table;
   table.set_header({"image_hw", "ios_min", "hios-lp_min", "hios-mr_min"});
+  Json rows = Json::array();
   for (int64_t hw : sizes) {
     const ops::Model model = build(hw);
     const cost::ProfiledModel pm = cost::profile_model(model, cost::make_dual_a40_nvlink());
     std::vector<std::string> row{std::to_string(hw)};
+    Json jrow = Json::object();
+    jrow["image_hw"] = hw;
     for (const char* alg : {"ios", "hios-lp", "hios-mr"}) {
       const core::CountingCostModel counter(*pm.cost);
       sched::SchedulerConfig config;
       config.num_gpus = 2;
       const auto result = sched::make_scheduler(alg)->schedule(pm.graph, counter, config);
-      row.push_back(TextTable::num(
-          core::scheduling_cost_minutes(pm.graph, counter, result.scheduling_ms), 2));
+      const double minutes =
+          core::scheduling_cost_minutes(pm.graph, counter, result.scheduling_ms);
+      row.push_back(TextTable::num(minutes, 2));
+      jrow[std::string(alg) + "_min"] = minutes;
     }
     table.add_row(std::move(row));
+    rows.push_back(std::move(jrow));
     std::fflush(stdout);
   }
+  out[csv_tag] = std::move(rows);
   std::printf("%s\n", title.c_str());
   bench::print_table(table, csv_tag);
 }
 
+/// Scheduling wall-clock of HIOS-LP + parallelize on the regression DAG
+/// (512 ops, 4 GPUs). Best of `reps` to shed scheduler noise; the latency
+/// must be independent of the repetition (deterministic algorithm).
+Json measure_sched_wallclock(int reps) {
+  models::RandomDagParams p;
+  p.num_ops = 512;
+  p.num_layers = 22;
+  p.num_deps = 1024;
+  p.seed = 7;
+  const graph::Graph g = models::random_dag(p);
+  const cost::TableCostModel cost;
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+
+  double best_ms = 0.0, latency_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto r = sched::make_scheduler("hios-lp")->schedule(g, cost, config);
+    if (rep == 0 || r.scheduling_ms < best_ms) best_ms = r.scheduling_ms;
+    latency_ms = r.latency_ms;
+  }
+
+  // Wall-clock of the same run before the incremental scheduling core
+  // (PR 2), measured on the reference machine: the acceptance bar is a
+  // >= 5x reduction, recorded alongside every measurement.
+  const double baseline_prerefactor_ms = 82.0;
+
+  Json j = Json::object();
+  j["algorithm"] = "hios-lp";
+  j["num_ops"] = p.num_ops;
+  j["num_gpus"] = config.num_gpus;
+  j["seed"] = p.seed;
+  j["scheduling_ms"] = best_ms;
+  j["latency_ms"] = latency_ms;
+  j["baseline_prerefactor_ms"] = baseline_prerefactor_ms;
+  j["speedup_vs_baseline"] = baseline_prerefactor_ms / best_ms;
+  std::printf("HIOS-LP 512 ops / 4 GPUs: scheduling %.2f ms (pre-refactor baseline "
+              "%.1f ms, %.1fx), latency %.3f ms\n\n",
+              best_ms, baseline_prerefactor_ms, baseline_prerefactor_ms / best_ms,
+              latency_ms);
+  return j;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ArgParser args("Fig. 14: scheduling-optimization time cost, plus the scheduling "
+                 "wall-clock regression check for the incremental core");
+  args.add_flag("json", "", "write results as JSON to this path")
+      .add_flag("smoke", "false", "skip the image-size sweeps (wall-clock check only)")
+      .add_flag("assert-max-ms", "0",
+                "exit 1 when the 512-op HIOS-LP scheduling wall-clock exceeds this "
+                "bound in ms (0 = no check)");
+  if (!args.parse(argc, argv)) return 0;
+
+  Json out = Json::object();
+  const bool smoke = args.get_bool("smoke");
+
   bench::print_header("Figure 14",
                       "time cost of scheduling optimization (minutes) vs input size");
 
-  sweep("(a) Inception-v3", {299, 512, 1024, 2048},
-        [](int64_t hw) {
-          models::InceptionV3Options opt;
-          opt.image_hw = hw;
-          return models::make_inception_v3(opt);
-        },
-        "fig14a_inception");
+  if (!smoke) {
+    sweep("(a) Inception-v3", {299, 512, 1024, 2048},
+          [](int64_t hw) {
+            models::InceptionV3Options opt;
+            opt.image_hw = hw;
+            return models::make_inception_v3(opt);
+          },
+          "fig14a_inception", out);
 
-  sweep("(b) NASNet-A", {331, 512, 1024, 2048},
-        [](int64_t hw) {
-          models::NasnetOptions opt;
-          opt.image_hw = hw;
-          return models::make_nasnet(opt);
-        },
-        "fig14b_nasnet");
+    sweep("(b) NASNet-A", {331, 512, 1024, 2048},
+          [](int64_t hw) {
+            models::NasnetOptions opt;
+            opt.image_hw = hw;
+            return models::make_nasnet(opt);
+          },
+          "fig14b_nasnet", out);
+  }
 
-  bench::print_expectation(
-      "scheduling cost of HIOS-LP / HIOS-MR grows much more slowly with input size "
-      "than IOS's (paper: HIOS-LP < 20 min for Inception-v3; up to 55.8% cheaper than "
-      "IOS for NASNet at large inputs) because IOS must profile far more candidate "
-      "concurrent groups.");
+  out["sched_wallclock_512x4"] = measure_sched_wallclock(smoke ? 3 : 5);
+
+  if (!smoke) {
+    bench::print_expectation(
+        "scheduling cost of HIOS-LP / HIOS-MR grows much more slowly with input size "
+        "than IOS's (paper: HIOS-LP < 20 min for Inception-v3; up to 55.8% cheaper than "
+        "IOS for NASNet at large inputs) because IOS must profile far more candidate "
+        "concurrent groups.");
+  }
+
+  if (const std::string path = args.get("json"); !path.empty()) {
+    std::ofstream f(path);
+    HIOS_CHECK(f.good(), "cannot open --json path " << path);
+    f << out.dump(true) << "\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+  const double bound = args.get_double("assert-max-ms");
+  if (bound > 0.0) {
+    const double measured = out.at("sched_wallclock_512x4").at("scheduling_ms").as_number();
+    if (measured > bound) {
+      std::fprintf(stderr, "FAIL: HIOS-LP scheduling wall-clock %.2f ms exceeds bound %.2f ms\n",
+                   measured, bound);
+      return 1;
+    }
+    std::printf("wall-clock check passed: %.2f ms <= %.2f ms\n", measured, bound);
+  }
   return 0;
 }

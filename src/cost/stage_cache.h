@@ -1,0 +1,65 @@
+// Memoizing t(S) decorator shared by the schedulers' inner loops.
+//
+// Candidate enumeration (HIOS-LP trials, Alg. 2 merge windows, the IOS DP)
+// asks the cost model for the same stage times over and over: every
+// re-evaluation of a schedule re-queries t(S) for each *unchanged* stage.
+// StageTimeCache memoizes stage_time keyed on the exact op-id sequence, so
+// repeated queries cost one hash lookup instead of the contention formula
+// (or, on real hardware, a measurement).
+//
+// Cache-validity rules (see DESIGN.md §6d):
+//   * One cache instance is bound to one Graph and one inner model — build
+//     it at the top of a schedule() call, drop it at the end. Graphs are
+//     append-only and schedulers never mutate weights mid-run, so entries
+//     never need invalidation.
+//   * The key is the op sequence *in order*, not the sorted set: floating-
+//     point stage times may depend on summation order, and the equivalence
+//     guarantee (incremental evaluation bit-identical to the reference
+//     evaluator) requires returning exactly what the inner model would.
+//   * Topology and per-GPU speed factors are copied from the inner model at
+//     construction so transfer_time / node_time / stage_time_on behave
+//     identically to calling the inner model directly.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace hios::cost {
+
+/// CostModel decorator memoizing stage_time. Forwards demand().
+class StageTimeCache final : public CostModel {
+ public:
+  explicit StageTimeCache(const CostModel& inner);
+
+  double stage_time(const graph::Graph& g,
+                    std::span<const graph::NodeId> stage) const override;
+
+  double demand(const graph::Graph& g, graph::NodeId v) const override {
+    return inner_.demand(g, v);
+  }
+
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  struct SeqHash {
+    std::size_t operator()(const std::vector<graph::NodeId>& v) const {
+      std::size_t h = 1469598103934665603ULL;
+      for (graph::NodeId x : v) {
+        h ^= static_cast<std::size_t>(static_cast<uint32_t>(x));
+        h *= 1099511628211ULL;
+      }
+      return h;
+    }
+  };
+
+  const CostModel& inner_;
+  mutable std::vector<double> singleton_;  ///< node -> t({v}); NaN = unset
+  mutable std::unordered_map<std::vector<graph::NodeId>, double, SeqHash> memo_;
+  mutable std::size_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace hios::cost

@@ -1,0 +1,44 @@
+#include "graph/compiled_graph.h"
+
+#include "graph/algorithms.h"
+
+namespace hios::graph {
+
+CompiledGraph::CompiledGraph(const Graph& g) : g_(&g), n_(g.num_nodes()) {
+  const std::size_t m = g.num_edges();
+
+  in_head_.assign(n_ + 1, 0);
+  out_head_.assign(n_ + 1, 0);
+  for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+    in_head_[static_cast<std::size_t>(v) + 1] = static_cast<int32_t>(g.in_degree(v));
+    out_head_[static_cast<std::size_t>(v) + 1] = static_cast<int32_t>(g.out_degree(v));
+  }
+  for (std::size_t v = 0; v < n_; ++v) {
+    in_head_[v + 1] += in_head_[v];
+    out_head_[v + 1] += out_head_[v];
+  }
+  in_csr_.resize(m);
+  out_csr_.resize(m);
+  for (NodeId v = 0; v < static_cast<NodeId>(n_); ++v) {
+    std::size_t i = static_cast<std::size_t>(in_head_[static_cast<std::size_t>(v)]);
+    for (EdgeId e : g.in_edges(v)) in_csr_[i++] = e;
+    std::size_t o = static_cast<std::size_t>(out_head_[static_cast<std::size_t>(v)]);
+    for (EdgeId e : g.out_edges(v)) out_csr_[o++] = e;
+  }
+
+  edge_index_.reserve(m * 2);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(m); ++e) {
+    const Edge& edge = g.edge(e);
+    edge_index_.emplace(pack(edge.src, edge.dst), e);
+  }
+
+  auto topo = topological_sort(g);
+  HIOS_CHECK(topo.has_value(), "CompiledGraph: graph '" << g.name() << "' has a cycle");
+  topo_ = std::move(*topo);
+  priority_ = priority_indicators(g);
+  order_ = graph::priority_order(g, priority_);
+  rank_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) rank_[static_cast<std::size_t>(order_[i])] = static_cast<int>(i);
+}
+
+}  // namespace hios::graph

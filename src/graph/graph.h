@@ -67,7 +67,9 @@ class Graph {
   std::size_t out_degree(NodeId v) const { check_node(v); return out_[v].size(); }
   std::size_t in_degree(NodeId v) const { check_node(v); return in_[v].size(); }
 
-  /// Returns the edge id of u -> v or -1 when absent.
+  /// Returns the edge id of u -> v or -1 when absent. Linear in
+  /// out_degree(u) — hot paths should query a CompiledGraph, whose hashed
+  /// edge index answers this in O(1) expected time.
   EdgeId find_edge(NodeId u, NodeId v) const;
 
   /// Nodes with no incoming / outgoing edges.

@@ -1,0 +1,68 @@
+#include "sched/core/list_state.h"
+
+#include <algorithm>
+
+namespace hios::sched {
+
+ListScheduleState::ListScheduleState(const graph::CompiledGraph& cg, int num_gpus,
+                                     const cost::CostModel& cost)
+    : cg_(cg), cost_(cost), num_gpus_(num_gpus), n_(cg.num_nodes()) {
+  HIOS_CHECK(num_gpus_ > 0, "need at least one GPU");
+  mapping_.assign(n_, -1);
+  start_.assign(n_, -1.0);
+  finish_.assign(n_, -1.0);
+  tails_.assign((n_ + 1) * static_cast<std::size_t>(num_gpus_), 0.0);
+  lat_prefix_.assign(n_ + 1, 0.0);
+  cur_.assign(static_cast<std::size_t>(num_gpus_), 0.0);
+  dirty_from_ = n_;  // empty mapping: all rows are already the zero state
+}
+
+void ListScheduleState::set_gpu(graph::NodeId v, int gpu) {
+  HIOS_CHECK(v >= 0 && static_cast<std::size_t>(v) < n_, "set_gpu: bad node " << v);
+  HIOS_CHECK(gpu < num_gpus_, "set_gpu: mapping[" << v << "] = " << gpu << " out of range");
+  mapping_[static_cast<std::size_t>(v)] = gpu;
+  dirty_from_ = std::min(dirty_from_, static_cast<std::size_t>(cg_.rank(v)));
+}
+
+double ListScheduleState::latency() {
+  if (dirty_from_ < n_) recompute();
+  return lat_prefix_[n_];
+}
+
+void ListScheduleState::recompute() {
+  const graph::Graph& g = cg_.graph();
+  const auto& order = cg_.priority_order();
+  const auto m = static_cast<std::size_t>(num_gpus_);
+
+  // Prefix state: row `dirty_from_` only depends on clean positions below.
+  std::copy_n(tails_.begin() + static_cast<std::ptrdiff_t>(dirty_from_ * m), m, cur_.begin());
+
+  for (std::size_t i = dirty_from_; i < n_; ++i) {
+    const graph::NodeId v = order[i];
+    const int gpu = mapping_[static_cast<std::size_t>(v)];
+    if (gpu < 0) {
+      start_[static_cast<std::size_t>(v)] = -1.0;
+      finish_[static_cast<std::size_t>(v)] = -1.0;
+      lat_prefix_[i + 1] = lat_prefix_[i];
+    } else {
+      double t_start = cur_[static_cast<std::size_t>(gpu)];
+      for (graph::EdgeId e : cg_.in_edges(v)) {
+        const graph::Edge& edge = g.edge(e);
+        const int pred_gpu = mapping_[static_cast<std::size_t>(edge.src)];
+        if (pred_gpu < 0) continue;
+        const double arrival = finish_[static_cast<std::size_t>(edge.src)] +
+                               cost_.transfer_time(g, e, pred_gpu, gpu);
+        t_start = std::max(t_start, arrival);
+      }
+      const double t_finish = t_start + cost_.node_time(g, v, gpu);
+      start_[static_cast<std::size_t>(v)] = t_start;
+      finish_[static_cast<std::size_t>(v)] = t_finish;
+      cur_[static_cast<std::size_t>(gpu)] = t_finish;
+      lat_prefix_[i + 1] = std::max(lat_prefix_[i], t_finish);
+    }
+    std::copy_n(cur_.begin(), m, tails_.begin() + static_cast<std::ptrdiff_t>((i + 1) * m));
+  }
+  dirty_from_ = n_;
+}
+
+}  // namespace hios::sched

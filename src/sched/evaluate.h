@@ -5,9 +5,13 @@
 //   * a stage starts once its GPU is free AND every producing stage has
 //     finished (+ t(u,v) when producer and consumer are on different GPUs),
 //   * a stage runs for t(S) from the cost model.
-// The evaluator is the schedulers' inner-loop objective, so it is a single
-// O(V + E + S) pass over the stage DAG. Infeasible schedules (dependency
-// cycles through the per-GPU execution order) are detected and reported.
+// This is the *reference* evaluator: a single from-scratch O(V + E + S)
+// pass over the stage DAG. The schedulers' inner loops now score candidates
+// through the incremental sched::ScheduleState (sched/core/), which must
+// produce bit-identical latencies and timings — an equivalence enforced by
+// the randomized property suite in tests/sched_core_test.cpp. Infeasible
+// schedules (dependency cycles through the per-GPU execution order) are
+// detected and reported by both.
 #pragma once
 
 #include <optional>

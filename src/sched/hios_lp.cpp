@@ -4,8 +4,10 @@
 #include <chrono>
 #include <limits>
 
-#include "graph/algorithms.h"
+#include "cost/stage_cache.h"
+#include "graph/compiled_graph.h"
 #include "graph/longest_path.h"
+#include "sched/core/list_state.h"
 #include "sched/evaluate.h"
 #include "sched/list_schedule.h"
 #include "sched/parallelize.h"
@@ -20,11 +22,16 @@ ScheduleResult HiosLpScheduler::schedule(const graph::Graph& g, const cost::Cost
   const std::size_t n = g.num_nodes();
   const int m = config.num_gpus;
 
-  // Priority indicators on the original graph G, fixed for the whole run.
-  const std::vector<double> priority = graph::priority_indicators(g);
-  const std::vector<graph::NodeId> order = graph::priority_order(g, priority);
+  // Compiled once for the whole run: CSR adjacency plus the priority
+  // indicators / order on the original graph G (Alg. 1 line 1).
+  const graph::CompiledGraph cg(g);
+  const std::vector<graph::NodeId>& order = cg.priority_order();
+  const cost::StageTimeCache cached(cost);
 
-  std::vector<int> mapping(n, -1);
+  // Incremental objective: each path-on-GPU trial only touches the path's
+  // nodes, so the list schedule is recomputed from the earliest changed
+  // priority rank instead of from scratch (Alg. 1 lines 7-16).
+  ListScheduleState trial(cg, m, cached);
   DynBitset scheduled(n);
 
   while (scheduled.count() < n) {
@@ -35,30 +42,30 @@ ScheduleResult HiosLpScheduler::schedule(const graph::Graph& g, const cost::Cost
       scheduled.set(static_cast<std::size_t>(v));
     }
     // Try the path on every GPU; keep the one minimising the latency of the
-    // list schedule over all mapped operators (Alg. 1 lines 7-16).
+    // list schedule over all mapped operators.
     double best_latency = std::numeric_limits<double>::infinity();
     int best_gpu = 0;
     for (int gpu = 0; gpu < m; ++gpu) {
-      for (graph::NodeId v : path->nodes) mapping[static_cast<std::size_t>(v)] = gpu;
-      const ListScheduleResult trial = list_schedule(g, mapping, order, m, cost);
-      if (trial.latency_ms < best_latency) {
-        best_latency = trial.latency_ms;
+      for (graph::NodeId v : path->nodes) trial.set_gpu(v, gpu);
+      const double latency = trial.latency();
+      if (latency < best_latency) {
+        best_latency = latency;
         best_gpu = gpu;
       }
     }
-    for (graph::NodeId v : path->nodes) mapping[static_cast<std::size_t>(v)] = best_gpu;
+    for (graph::NodeId v : path->nodes) trial.set_gpu(v, best_gpu);
   }
 
-  ListScheduleResult placed = list_schedule(g, mapping, order, m, cost);
+  ListScheduleResult placed = list_schedule(g, trial.mapping(), order, m, cached);
   ScheduleResult result;
   result.algorithm = name();
   if (apply_intra_ && config.apply_intra) {
-    ParallelizeResult intra = parallelize(g, std::move(placed.schedule), cost,
+    ParallelizeResult intra = parallelize(cg, std::move(placed.schedule), cached,
                                           std::min(config.window, config.max_streams));
     result.schedule = std::move(intra.schedule);
     result.latency_ms = intra.latency_ms;
   } else {
-    auto eval = evaluate_schedule(g, placed.schedule, cost);
+    auto eval = evaluate_schedule(g, placed.schedule, cached);
     HIOS_ASSERT(eval.has_value(), "list schedule cannot deadlock");
     result.schedule = std::move(placed.schedule);
     result.latency_ms = eval->latency_ms;

@@ -4,7 +4,8 @@
 #include <chrono>
 #include <limits>
 
-#include "graph/algorithms.h"
+#include "cost/stage_cache.h"
+#include "graph/compiled_graph.h"
 #include "sched/evaluate.h"
 #include "sched/parallelize.h"
 
@@ -26,10 +27,12 @@ ScheduleResult HiosMrScheduler::schedule(const graph::Graph& g, const cost::Cost
     return result;
   }
 
+  // Compiled once per run: CSR adjacency + priority metadata; the stage
+  // cache memoizes every t(S) the intra pass re-queries.
+  const graph::CompiledGraph cg(g);
+  const cost::StageTimeCache cached(cost);
   // Line 1: v_1..v_n in descending priority (a topological order).
-  const std::vector<graph::NodeId> order = graph::priority_order(g);
-  std::vector<int> rank(static_cast<std::size_t>(n));  // node -> position (0-based)
-  for (int i = 0; i < n; ++i) rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  const std::vector<graph::NodeId>& order = cg.priority_order();
 
   // Lines 2-5: the n x M table of (t_{i,j}, g_{i,j}).
   std::vector<std::vector<double>> t(static_cast<std::size_t>(n),
@@ -65,9 +68,9 @@ ScheduleResult HiosMrScheduler::schedule(const graph::Graph& g, const cost::Cost
             start = std::max(start, fin[static_cast<std::size_t>(l)]);
         }
         bool feasible = true;
-        for (graph::EdgeId e : g.in_edges(vi)) {
+        for (graph::EdgeId e : cg.in_edges(vi)) {
           const graph::Edge& edge = g.edge(e);
-          const int l = rank[static_cast<std::size_t>(edge.src)];
+          const int l = cg.rank(edge.src);
           HIOS_ASSERT(l < i, "priority order not topological");
           if (fin[static_cast<std::size_t>(l)] == kInf) {
             feasible = false;
@@ -109,12 +112,12 @@ ScheduleResult HiosMrScheduler::schedule(const graph::Graph& g, const cost::Cost
   }
 
   if (apply_intra_ && config.apply_intra) {
-    ParallelizeResult intra = parallelize(g, std::move(schedule), cost,
+    ParallelizeResult intra = parallelize(cg, std::move(schedule), cached,
                                           std::min(config.window, config.max_streams));
     result.schedule = std::move(intra.schedule);
     result.latency_ms = intra.latency_ms;
   } else {
-    auto eval = evaluate_schedule(g, schedule, cost);
+    auto eval = evaluate_schedule(g, schedule, cached);
     HIOS_ASSERT(eval.has_value(), "MR chain schedule cannot deadlock");
     result.schedule = std::move(schedule);
     result.latency_ms = eval->latency_ms;

@@ -5,7 +5,8 @@
 #include <limits>
 #include <unordered_map>
 
-#include "graph/algorithms.h"
+#include "cost/stage_cache.h"
+#include "graph/compiled_graph.h"
 #include "sched/evaluate.h"
 #include "util/bitset.h"
 
@@ -35,7 +36,11 @@ ScheduleResult IosScheduler::schedule(const graph::Graph& g, const cost::CostMod
     return result;
   }
 
-  const std::vector<double> priority = graph::priority_indicators(g);
+  // Compiled once per run; the stage cache memoizes t(S) across the many
+  // DP states that query the same candidate stage.
+  const graph::CompiledGraph cg(g);
+  const cost::StageTimeCache cached(cost);
+  const std::vector<double>& priority = cg.priority();
 
   std::vector<State> states;
   std::unordered_map<DynBitset, int, DynBitsetHash> index;
@@ -92,7 +97,7 @@ ScheduleResult IosScheduler::schedule(const graph::Graph& g, const cost::CostMod
       auto recurse = [&](auto&& self, std::size_t from) -> void {
         if (!stage.empty()) {
           const double t_stage =
-              cost.stage_time(g, std::span<const graph::NodeId>(stage));
+              cached.stage_time(g, std::span<const graph::NodeId>(stage));
           const double latency = base_latency + t_stage;
           DynBitset next_done = done_copy;
           for (graph::NodeId v : stage) next_done.set(static_cast<std::size_t>(v));
@@ -140,7 +145,7 @@ ScheduleResult IosScheduler::schedule(const graph::Graph& g, const cost::CostMod
   for (auto it = stages_rev.rbegin(); it != stages_rev.rend(); ++it)
     schedule.gpus[0].push_back(Stage{*it});
 
-  auto eval = evaluate_schedule(g, schedule, cost);
+  auto eval = evaluate_schedule(g, schedule, cached);
   HIOS_ASSERT(eval.has_value(), "IOS schedule cannot deadlock");
   result.schedule = std::move(schedule);
   result.latency_ms = eval->latency_ms;

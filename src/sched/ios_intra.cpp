@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "cost/stage_cache.h"
 #include "sched/evaluate.h"
 #include "sched/hios_lp.h"
 #include "sched/ios.h"
@@ -43,7 +44,10 @@ class RemappedCost final : public cost::CostModel {
 ScheduleResult ios_intra_pass(const graph::Graph& g, const Schedule& schedule,
                               const cost::CostModel& cost, const SchedulerConfig& config) {
   const auto t0 = std::chrono::steady_clock::now();
-  auto base_eval = evaluate_schedule(g, schedule, cost);
+  // One stage-time cache across the base evaluation and every per-GPU
+  // candidate re-evaluation below.
+  const cost::StageTimeCache cached(cost);
+  auto base_eval = evaluate_schedule(g, schedule, cached);
   HIOS_CHECK(base_eval.has_value(), "ios_intra_pass: input schedule deadlocks");
 
   Schedule best = schedule;
@@ -86,7 +90,7 @@ ScheduleResult ios_intra_pass(const graph::Graph& g, const Schedule& schedule,
     // The local DP may have reordered ops in a way that deadlocks against
     // cross-GPU dependencies, or may simply be worse globally: keep only
     // strict improvements.
-    if (auto eval = evaluate_schedule(g, candidate, cost);
+    if (auto eval = evaluate_schedule(g, candidate, cached);
         eval.has_value() && eval->latency_ms < best_latency) {
       best = std::move(candidate);
       best_latency = eval->latency_ms;

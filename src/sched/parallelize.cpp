@@ -2,148 +2,82 @@
 
 #include <algorithm>
 
-#include "graph/algorithms.h"
-#include "sched/evaluate.h"
-#include "util/bitset.h"
+#include "cost/stage_cache.h"
+#include "sched/core/schedule_state.h"
 
 namespace hios::sched {
 
-namespace {
-
-/// Reachability between current stages via data edges only (the merged
-/// computation graph of Alg. 2). Stage keys: (gpu, index) flattened.
-struct StageReach {
-  std::vector<DynBitset> reach;  // indexed by flat stage id
-  std::vector<int> flat_of;      // node -> flat stage id
-
-  void rebuild(const graph::Graph& g, const Schedule& schedule) {
-    // Flatten stages.
-    std::size_t num_stages = 0;
-    for (const auto& gpu : schedule.gpus) num_stages += gpu.size();
-    flat_of.assign(g.num_nodes(), -1);
-    int flat = 0;
-    for (const auto& gpu : schedule.gpus) {
-      for (const Stage& stage : gpu) {
-        for (graph::NodeId v : stage.ops) flat_of[static_cast<std::size_t>(v)] = flat;
-        ++flat;
-      }
-    }
-    // Condensed data-dependency graph over stages.
-    graph::Graph condensed("stages");
-    for (std::size_t s = 0; s < num_stages; ++s) condensed.add_node(std::to_string(s));
-    for (const graph::Edge& e : g.edges()) {
-      const int su = flat_of[static_cast<std::size_t>(e.src)];
-      const int sv = flat_of[static_cast<std::size_t>(e.dst)];
-      if (su != sv && condensed.find_edge(su, sv) < 0) condensed.add_edge(su, sv);
-    }
-    reach = graph::reachability(condensed);
-  }
-
-  bool independent(int a, int b) const {
-    return a != b && !reach[static_cast<std::size_t>(a)].test(static_cast<std::size_t>(b)) &&
-           !reach[static_cast<std::size_t>(b)].test(static_cast<std::size_t>(a));
-  }
-};
-
-}  // namespace
-
-ParallelizeResult parallelize(const graph::Graph& g, Schedule schedule,
+ParallelizeResult parallelize(const graph::CompiledGraph& cg, Schedule schedule,
                               const cost::CostModel& cost, int window) {
+  const graph::Graph& g = cg.graph();
   ParallelizeResult result;
-  auto eval = evaluate_schedule(g, schedule, cost);
-  HIOS_CHECK(eval.has_value(), "parallelize: input schedule deadlocks");
-  double latency = eval->latency_ms;
+
+  ScheduleState state(cg, cost);
+  state.load(schedule);
+  for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v) {
+    HIOS_CHECK(state.stage_of(v) >= 0, "node " << v << " ('" << g.node_name(v)
+                                               << "') missing from schedule");
+  }
+  auto base = state.evaluate_latency();
+  HIOS_CHECK(base.has_value(), "parallelize: input schedule deadlocks");
+  double latency = *base;
 
   if (window >= 2 && g.num_nodes() >= 2) {
-    const std::vector<graph::NodeId> order = graph::priority_order(g);
-    StageReach sr;
-    sr.rebuild(g, schedule);
-    // Node positions within the current schedule, refreshed after commits.
-    auto locate = [&](graph::NodeId v, int& gpu, int& idx) {
-      gpu = -1;
-      idx = -1;
-      for (int i = 0; i < schedule.num_gpus; ++i) {
-        const auto& stages = schedule.gpus[static_cast<std::size_t>(i)];
-        for (std::size_t s = 0; s < stages.size(); ++s) {
-          for (graph::NodeId u : stages[s].ops) {
-            if (u == v) {
-              gpu = i;
-              idx = static_cast<int>(s);
-              return;
-            }
-          }
-        }
-      }
-    };
-
+    const std::vector<graph::NodeId>& order = cg.priority_order();
     for (std::size_t oi = 0; oi + 1 < order.size(); ++oi) {
       const graph::NodeId v = order[oi];
-      int gpu = -1, idx = -1;
-      locate(v, gpu, idx);
-      HIOS_ASSERT(gpu >= 0, "node " << v << " not found in schedule");
-      const auto& stages = schedule.gpus[static_cast<std::size_t>(gpu)];
-      if (stages[static_cast<std::size_t>(idx)].ops.size() > 1) continue;  // already grouped
+      const int sid = state.stage_of(v);
+      HIOS_ASSERT(sid >= 0, "node " << v << " not found in schedule");
+      if (state.stage_ops(sid).size() > 1) continue;  // already grouped
+      const int gpu = state.gpu_of_stage(sid);
+      const int pos = state.position_of(sid);
 
       double best_latency = latency;
       int best_extent = 0;  // how many succeeding stages to merge in
       // Window sizes 2..w ops; extend one succeeding stage at a time.
-      std::size_t total_ops = stages[static_cast<std::size_t>(idx)].ops.size();
-      for (int extent = 1; idx + extent < static_cast<int>(stages.size()); ++extent) {
-        const Stage& next = stages[static_cast<std::size_t>(idx + extent)];
-        total_ops += next.ops.size();
+      std::size_t total_ops = state.stage_ops(sid).size();
+      for (int extent = 1; pos + extent < state.stage_count(gpu); ++extent) {
+        total_ops += state.stage_ops(state.stage_at(gpu, pos + extent)).size();
         if (total_ops > static_cast<std::size_t>(window)) break;
         // All stages in the window must be pairwise independent.
         bool ok = true;
-        for (int a = idx; a < idx + extent && ok; ++a) {
-          for (int b = a + 1; b <= idx + extent && ok; ++b) {
-            const int fa = sr.flat_of[static_cast<std::size_t>(
-                stages[static_cast<std::size_t>(a)].ops.front())];
-            const int fb = sr.flat_of[static_cast<std::size_t>(
-                stages[static_cast<std::size_t>(b)].ops.front())];
-            ok = sr.independent(fa, fb);
+        for (int a = pos; a < pos + extent && ok; ++a) {
+          for (int b = a + 1; b <= pos + extent && ok; ++b) {
+            ok = state.stages_independent(state.stage_at(gpu, a), state.stage_at(gpu, b));
           }
         }
         if (!ok) break;  // dependency blocks this and any larger window
         ++result.candidates_tried;
 
-        // Build candidate: merge stages [idx, idx+extent] on this GPU.
-        Schedule candidate = schedule;
-        auto& cstages = candidate.gpus[static_cast<std::size_t>(gpu)];
-        Stage merged;
-        for (int s = idx; s <= idx + extent; ++s) {
-          const auto& src_ops = cstages[static_cast<std::size_t>(s)].ops;
-          merged.ops.insert(merged.ops.end(), src_ops.begin(), src_ops.end());
-        }
-        cstages.erase(cstages.begin() + idx, cstages.begin() + idx + extent + 1);
-        cstages.insert(cstages.begin() + idx, std::move(merged));
-
-        auto cand_eval = evaluate_schedule(g, candidate, cost);
-        if (!cand_eval.has_value()) continue;  // execution-order deadlock
-        if (cand_eval->latency_ms < best_latency) {
-          best_latency = cand_eval->latency_ms;
+        state.apply_merge(gpu, pos, extent);
+        const auto cand = state.evaluate_latency();
+        state.undo_merge();
+        if (!cand.has_value()) continue;  // execution-order deadlock
+        if (*cand < best_latency) {
+          best_latency = *cand;
           best_extent = extent;
         }
       }
 
       if (best_extent > 0) {
-        auto& mstages = schedule.gpus[static_cast<std::size_t>(gpu)];
-        Stage merged;
-        for (int s = idx; s <= idx + best_extent; ++s) {
-          const auto& src_ops = mstages[static_cast<std::size_t>(s)].ops;
-          merged.ops.insert(merged.ops.end(), src_ops.begin(), src_ops.end());
-        }
-        mstages.erase(mstages.begin() + idx, mstages.begin() + idx + best_extent + 1);
-        mstages.insert(mstages.begin() + idx, std::move(merged));
+        state.apply_merge(gpu, pos, best_extent);
+        state.commit_merge();
         latency = best_latency;
         ++result.merges_accepted;
-        sr.rebuild(g, schedule);
       }
     }
   }
 
-  result.schedule = std::move(schedule);
+  result.schedule = state.extract();
   result.latency_ms = latency;
   return result;
+}
+
+ParallelizeResult parallelize(const graph::Graph& g, Schedule schedule,
+                              const cost::CostModel& cost, int window) {
+  const graph::CompiledGraph cg(g);
+  const cost::StageTimeCache cached(cost);
+  return parallelize(cg, std::move(schedule), cached, window);
 }
 
 }  // namespace hios::sched

@@ -18,9 +18,17 @@
 //    graph, which subsumes the paper's cycle test (merging pairwise
 //    order-independent nodes cannot create a cycle); the evaluator still
 //    guards against execution-order deadlocks.
+//
+// Implementation (see DESIGN.md §6d): candidates are scored on a
+// sched::ScheduleState with the apply -> evaluate -> undo | commit
+// protocol — no Schedule deep copies, no from-scratch re-evaluation, and
+// stage reachability is maintained incrementally across commits. Callers
+// that already hold a CompiledGraph (HIOS-LP / HIOS-MR) pass it in so the
+// priority order is computed once per schedule() call, not again here.
 #pragma once
 
 #include "cost/cost_model.h"
+#include "graph/compiled_graph.h"
 #include "sched/schedule.h"
 
 namespace hios::sched {
@@ -33,9 +41,16 @@ struct ParallelizeResult {
   int candidates_tried = 0;
 };
 
-/// Runs Alg. 2. `schedule` must be valid for `g`; `window` is the maximum
-/// number of ops per merged stage (w >= 2 enables merging; w < 2 is a
-/// no-op that just evaluates the input).
+/// Runs Alg. 2 on a pre-compiled graph (the priority order is taken from
+/// `cg`, not recomputed). `schedule` must be valid for cg.graph(); `window`
+/// is the maximum number of ops per merged stage (w >= 2 enables merging;
+/// w < 2 is a no-op that just evaluates the input). `cost` is queried for
+/// repeated stage times — pass a cost::StageTimeCache to memoize them.
+ParallelizeResult parallelize(const graph::CompiledGraph& cg, Schedule schedule,
+                              const cost::CostModel& cost, int window);
+
+/// Convenience overload compiling `g` (and wrapping `cost` in a stage-time
+/// cache) internally. Prefer the CompiledGraph overload in scheduler code.
 ParallelizeResult parallelize(const graph::Graph& g, Schedule schedule,
                               const cost::CostModel& cost, int window);
 

@@ -11,6 +11,8 @@ ResidualProblem build_residual(const graph::Graph& g, const std::vector<char>& a
   ResidualProblem res;
   res.graph.set_name(g.name() + "+residual");
   std::vector<graph::NodeId> new_id(n, graph::kInvalidNode);
+  res.orig_of.reserve(n);
+  res.is_boundary.reserve(n);
 
   // Residual ops first, in original id order (preserves topological order).
   for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(n); ++v) {

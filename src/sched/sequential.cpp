@@ -2,14 +2,15 @@
 
 #include <chrono>
 
-#include "graph/algorithms.h"
+#include "graph/compiled_graph.h"
 #include "sched/evaluate.h"
 
 namespace hios::sched {
 
 ScheduleResult sequential_core(const graph::Graph& g, const cost::CostModel& cost) {
+  const graph::CompiledGraph cg(g);
   Schedule schedule(1);
-  for (graph::NodeId v : graph::priority_order(g)) schedule.push_op(0, v);
+  for (graph::NodeId v : cg.priority_order()) schedule.push_op(0, v);
   auto eval = evaluate_schedule(g, schedule, cost);
   HIOS_ASSERT(eval.has_value(), "sequential schedule cannot deadlock");
   ScheduleResult result;

@@ -1,0 +1,360 @@
+// Randomized equivalence suite for the incremental scheduling core.
+//
+// The refactor's contract is *exact* equivalence: ScheduleState /
+// ListScheduleState / StageTimeCache must produce bit-identical numbers to
+// the retained reference implementations (evaluate_schedule,
+// evaluate_partial_schedule, list_schedule, the inner cost model) — the
+// recurrences use only max and + over the same operands in the same order,
+// so no tolerance is needed or used. Across the suites below, well over
+// 200 randomized DAG / schedule / merge cases are exercised, including
+// deadlock (nullopt) parity on adversarially permuted per-GPU orders.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <vector>
+
+#include "cost/stage_cache.h"
+#include "cost/table_model.h"
+#include "graph/algorithms.h"
+#include "graph/compiled_graph.h"
+#include "models/random_dag.h"
+#include "sched/core/list_state.h"
+#include "sched/core/schedule_state.h"
+#include "sched/evaluate.h"
+#include "sched/list_schedule.h"
+#include "sched/schedule.h"
+
+namespace hios::sched {
+namespace {
+
+graph::Graph make_dag(std::mt19937_64& rng) {
+  models::RandomDagParams p;
+  p.num_ops = 12 + static_cast<int>(rng() % 52);
+  p.num_layers = 3 + static_cast<int>(rng() % 6);
+  p.num_deps = p.num_ops + static_cast<int>(rng() % (2 * p.num_ops));
+  p.seed = rng();
+  return models::random_dag(p);
+}
+
+struct ScheduleOpts {
+  double group_prob = 0.4;  ///< chance to co-schedule with the previous stage
+  double drop_prob = 0.0;   ///< chance to leave a node unscheduled
+  bool shuffle = false;     ///< randomly permute per-GPU stage order
+};
+
+/// Builds a random schedule: nodes visit GPUs in topological order, adjacent
+/// independent nodes sometimes share a stage. With `shuffle`, per-GPU stage
+/// lists are permuted, which frequently creates execution-order deadlocks —
+/// exactly the inputs both evaluators must agree to reject.
+Schedule random_schedule(const graph::Graph& g, const std::vector<DynBitset>& reach, int m,
+                         std::mt19937_64& rng, const ScheduleOpts& opts) {
+  const auto topo = graph::topological_sort(g);
+  EXPECT_TRUE(topo.has_value());
+  Schedule s(m);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  for (graph::NodeId v : *topo) {
+    if (coin(rng) < opts.drop_prob) continue;
+    auto& stages = s.gpus[rng() % static_cast<uint64_t>(m)];
+    if (!stages.empty() && stages.back().ops.size() < 4 && coin(rng) < opts.group_prob) {
+      bool ok = true;
+      for (graph::NodeId u : stages.back().ops) ok = ok && graph::independent(reach, u, v);
+      if (ok) {
+        stages.back().ops.push_back(v);
+        continue;
+      }
+    }
+    stages.push_back(Stage{{v}});
+  }
+  if (opts.shuffle) {
+    // A handful of adjacent swaps, not a full shuffle: some permuted
+    // schedules must stay feasible for the parity test to see both sides.
+    for (auto& stages : s.gpus) {
+      if (stages.size() < 2) continue;
+      const int swaps = static_cast<int>(rng() % 3);
+      for (int k = 0; k < swaps; ++k) {
+        const std::size_t i = rng() % (stages.size() - 1);
+        std::swap(stages[i], stages[i + 1]);
+      }
+    }
+  }
+  return s;
+}
+
+/// Occasionally decorate the model with speed factors / a topology so the
+/// hoisted per-edge transfer and per-stage t(S) paths see them too.
+void maybe_decorate(cost::TableCostModel& cost, int m, std::mt19937_64& rng) {
+  if (rng() % 3 == 0) {
+    std::vector<double> speeds;
+    for (int i = 0; i < m; ++i) speeds.push_back(0.5 + 0.25 * static_cast<double>(rng() % 7));
+    cost.set_speed_factors(std::move(speeds));
+  }
+  if (rng() % 3 == 0)
+    cost.set_topology(cost::Topology::hierarchical(m, 2, cost::LinkClass{2.5, 0.05}));
+}
+
+void expect_eval_equal(const std::optional<Evaluation>& ref,
+                       const std::optional<Evaluation>& inc) {
+  ASSERT_EQ(ref.has_value(), inc.has_value());
+  if (!ref.has_value()) return;
+  EXPECT_EQ(ref->latency_ms, inc->latency_ms);  // bit-identical, no tolerance
+  ASSERT_EQ(ref->stages.size(), inc->stages.size());
+  for (std::size_t i = 0; i < ref->stages.size(); ++i) {
+    EXPECT_EQ(ref->stages[i].gpu, inc->stages[i].gpu);
+    EXPECT_EQ(ref->stages[i].index, inc->stages[i].index);
+    EXPECT_EQ(ref->stages[i].start, inc->stages[i].start);
+    EXPECT_EQ(ref->stages[i].finish, inc->stages[i].finish);
+  }
+  EXPECT_EQ(ref->stage_of, inc->stage_of);
+}
+
+TEST(SchedCore, EvaluateMatchesReferenceExactly) {
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int iter = 0; iter < 120; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 4);
+    cost::TableCostModel cost;
+    maybe_decorate(cost, m, rng);
+    const auto reach = graph::reachability(g);
+    const Schedule s = random_schedule(g, reach, m, rng, {});
+
+    const graph::CompiledGraph cg(g);
+    ScheduleState state(cg, cost);
+    state.load(s);
+    expect_eval_equal(evaluate_schedule(g, s, cost), state.evaluate());
+  }
+}
+
+TEST(SchedCore, DeadlockParityOnPermutedOrders) {
+  std::mt19937_64 rng(0xDEAD);
+  int deadlocks = 0, feasible = 0;
+  for (int iter = 0; iter < 80; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 4);
+    const cost::TableCostModel cost;
+    const auto reach = graph::reachability(g);
+    ScheduleOpts opts;
+    opts.shuffle = true;
+    const Schedule s = random_schedule(g, reach, m, rng, opts);
+
+    const graph::CompiledGraph cg(g);
+    ScheduleState state(cg, cost);
+    state.load(s);
+    const auto ref = evaluate_schedule(g, s, cost);
+    expect_eval_equal(ref, state.evaluate());
+    (ref.has_value() ? feasible : deadlocks) += 1;
+  }
+  // The permutation must actually exercise both outcomes.
+  EXPECT_GT(deadlocks, 0);
+  EXPECT_GT(feasible, 0);
+}
+
+TEST(SchedCore, PartialSchedulesMatchPartialEvaluator) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int iter = 0; iter < 60; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 4);
+    cost::TableCostModel cost;
+    maybe_decorate(cost, m, rng);
+    const auto reach = graph::reachability(g);
+    ScheduleOpts opts;
+    opts.drop_prob = 0.3;
+    const Schedule s = random_schedule(g, reach, m, rng, opts);
+
+    const graph::CompiledGraph cg(g);
+    ScheduleState state(cg, cost);
+    state.load(s);
+    expect_eval_equal(evaluate_partial_schedule(g, s, cost), state.evaluate());
+  }
+}
+
+/// Reference scoring of a merge candidate: deep-copy the schedule, splice
+/// the window by hand, evaluate from scratch — exactly what parallelize()
+/// did before the incremental core.
+std::optional<double> deep_copy_merge_latency(const graph::Graph& g, Schedule s, int gpu,
+                                              int pos, int extent,
+                                              const cost::CostModel& cost) {
+  auto& stages = s.gpus[static_cast<std::size_t>(gpu)];
+  for (int k = 1; k <= extent; ++k) {
+    auto& dst = stages[static_cast<std::size_t>(pos)].ops;
+    const auto& src = stages[static_cast<std::size_t>(pos + k)].ops;
+    dst.insert(dst.end(), src.begin(), src.end());
+  }
+  stages.erase(stages.begin() + pos + 1, stages.begin() + pos + 1 + extent);
+  const auto eval = evaluate_schedule(g, s, cost);
+  if (!eval.has_value()) return std::nullopt;
+  return eval->latency_ms;
+}
+
+TEST(SchedCore, MergeApplyEvaluateUndoMatchesDeepCopy) {
+  std::mt19937_64 rng(0xAB1E);
+  int candidates = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 3);
+    cost::TableCostModel cost;
+    maybe_decorate(cost, m, rng);
+    const auto reach = graph::reachability(g);
+    ScheduleOpts opts;
+    opts.group_prob = 0.0;  // singleton stages: topo order per GPU is feasible
+    const Schedule s = random_schedule(g, reach, m, rng, opts);
+
+    const graph::CompiledGraph cg(g);
+    ScheduleState state(cg, cost);
+    state.load(s);
+    const auto base = state.evaluate_latency();
+    ASSERT_TRUE(base.has_value());
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const int gpu = static_cast<int>(rng() % static_cast<uint64_t>(m));
+      const int count = state.stage_count(gpu);
+      if (count < 2) continue;
+      const int pos = static_cast<int>(rng() % static_cast<uint64_t>(count - 1));
+      const int extent = 1;
+      if (!state.stages_independent(state.stage_at(gpu, pos), state.stage_at(gpu, pos + 1)))
+        continue;
+      ++candidates;
+
+      state.apply_merge(gpu, pos, extent);
+      const auto merged = state.evaluate_latency();
+      state.undo_merge();
+
+      const auto ref = deep_copy_merge_latency(g, s, gpu, pos, extent, cost);
+      ASSERT_EQ(ref.has_value(), merged.has_value());
+      if (ref.has_value()) {
+        EXPECT_EQ(*ref, *merged);
+      }
+
+      // Undo restored the pre-apply state exactly.
+      EXPECT_EQ(state.evaluate_latency(), base);
+      const Schedule back = state.extract();
+      ASSERT_EQ(back.gpus.size(), s.gpus.size());
+      for (std::size_t i = 0; i < s.gpus.size(); ++i) {
+        ASSERT_EQ(back.gpus[i].size(), s.gpus[i].size());
+        for (std::size_t j = 0; j < s.gpus[i].size(); ++j)
+          EXPECT_EQ(back.gpus[i][j].ops, s.gpus[i][j].ops);
+      }
+    }
+  }
+  EXPECT_GT(candidates, 50);  // the loop really scored merges
+}
+
+TEST(SchedCore, CommittedReachMatchesFreshRebuild) {
+  std::mt19937_64 rng(0xFACE);
+  int commits = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 3);
+    const cost::TableCostModel cost;
+    const auto reach = graph::reachability(g);
+    const Schedule s = random_schedule(g, reach, m, rng, {});
+
+    const graph::CompiledGraph cg(g);
+    ScheduleState state(cg, cost);
+    state.load(s);
+
+    for (int round = 0; round < 4; ++round) {
+      // Commit a random independent adjacent pair, if any.
+      bool merged = false;
+      for (int attempt = 0; attempt < 12 && !merged; ++attempt) {
+        const int gpu = static_cast<int>(rng() % static_cast<uint64_t>(m));
+        const int count = state.stage_count(gpu);
+        if (count < 2) continue;
+        const int pos = static_cast<int>(rng() % static_cast<uint64_t>(count - 1));
+        if (!state.stages_independent(state.stage_at(gpu, pos), state.stage_at(gpu, pos + 1)))
+          continue;
+        state.apply_merge(gpu, pos, 1);
+        state.commit_merge();
+        merged = true;
+        ++commits;
+      }
+      if (!merged) break;
+
+      // The incrementally maintained closure must agree with a from-scratch
+      // rebuild on the extracted schedule, for every alive stage pair.
+      ScheduleState fresh(cg, cost);
+      const Schedule cur = state.extract();
+      fresh.load(cur);
+      expect_eval_equal(fresh.evaluate(), state.evaluate());
+      for (int ga = 0; ga < m; ++ga) {
+        for (int pa = 0; pa < state.stage_count(ga); ++pa) {
+          for (int gb = 0; gb < m; ++gb) {
+            for (int pb = 0; pb < state.stage_count(gb); ++pb) {
+              const int a = state.stage_at(ga, pa), b = state.stage_at(gb, pb);
+              const int fa = fresh.stage_at(ga, pa), fb = fresh.stage_at(gb, pb);
+              EXPECT_EQ(state.stages_independent(a, b), fresh.stages_independent(fa, fb))
+                  << "pair (" << ga << "," << pa << ") x (" << gb << "," << pb << ")";
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(commits, 30);
+}
+
+TEST(SchedCore, ListStateMatchesFromScratchPass) {
+  std::mt19937_64 rng(0x11157);
+  for (int iter = 0; iter < 60; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 4);
+    cost::TableCostModel cost;
+    maybe_decorate(cost, m, rng);
+    const graph::CompiledGraph cg(g);
+    const std::vector<graph::NodeId>& order = cg.priority_order();
+
+    ListScheduleState trial(cg, m, cost);
+    std::vector<int> mapping(g.num_nodes(), -1);
+    for (int round = 0; round < 6; ++round) {
+      // Mutate a random batch: map, remap, and occasionally unmap nodes.
+      const int batch = 1 + static_cast<int>(rng() % 8);
+      for (int k = 0; k < batch; ++k) {
+        const graph::NodeId v = static_cast<graph::NodeId>(rng() % g.num_nodes());
+        const int gpu = (rng() % 8 == 0) ? -1 : static_cast<int>(rng() % static_cast<uint64_t>(m));
+        mapping[static_cast<std::size_t>(v)] = gpu;
+        trial.set_gpu(v, gpu);
+      }
+      const double incremental = trial.latency();
+      const ListScheduleResult full = list_schedule(g, mapping, order, m, cost);
+      EXPECT_EQ(full.latency_ms, incremental);  // bit-identical
+      for (graph::NodeId v = 0; v < static_cast<graph::NodeId>(g.num_nodes()); ++v) {
+        EXPECT_EQ(full.start[static_cast<std::size_t>(v)], trial.start(v));
+        EXPECT_EQ(full.finish[static_cast<std::size_t>(v)], trial.finish(v));
+      }
+    }
+  }
+}
+
+TEST(SchedCore, StageTimeCacheBitEqualToInner) {
+  std::mt19937_64 rng(0xCAC4E);
+  for (int iter = 0; iter < 40; ++iter) {
+    const graph::Graph g = make_dag(rng);
+    const int m = 1 + static_cast<int>(rng() % 4);
+    cost::TableCostModel inner;
+    maybe_decorate(inner, m, rng);
+    const cost::StageTimeCache cached(inner);
+
+    for (int q = 0; q < 20; ++q) {
+      std::vector<graph::NodeId> stage;
+      const int len = 1 + static_cast<int>(rng() % 4);
+      for (int k = 0; k < len; ++k)
+        stage.push_back(static_cast<graph::NodeId>(rng() % g.num_nodes()));
+      const int gpu = static_cast<int>(rng() % static_cast<uint64_t>(m));
+      EXPECT_EQ(inner.stage_time(g, stage), cached.stage_time(g, stage));
+      EXPECT_EQ(inner.stage_time(g, stage), cached.stage_time(g, stage));  // hit path
+      EXPECT_EQ(inner.stage_time_on(g, stage, gpu), cached.stage_time_on(g, stage, gpu));
+      EXPECT_EQ(inner.node_time(g, stage[0], gpu), cached.node_time(g, stage[0], gpu));
+      EXPECT_EQ(inner.demand(g, stage[0]), cached.demand(g, stage[0]));
+    }
+    for (graph::EdgeId e = 0; e < static_cast<graph::EdgeId>(g.num_edges()); ++e) {
+      const int a = static_cast<int>(rng() % static_cast<uint64_t>(m));
+      const int b = static_cast<int>(rng() % static_cast<uint64_t>(m));
+      EXPECT_EQ(inner.transfer_time(g, e, a, b), cached.transfer_time(g, e, a, b));
+    }
+    EXPECT_GT(cached.hits(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace hios::sched
