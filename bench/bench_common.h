@@ -7,6 +7,8 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,83 @@ inline const std::vector<std::string>& all_algorithms() {
 /// mean ± std formatted as the paper plots (error bars).
 inline std::string mean_std(const RunningStats& s, int precision = 1) {
   return TextTable::num(s.mean(), precision) + "±" + TextTable::num(s.stddev(), precision);
+}
+
+// --- golden baselines (tests/golden/*.json) ------------------------------
+// Every figure bench accepts:
+//   --smoke            reduced deterministic sweep (the CI/golden regime)
+//   --golden-write P   regenerate the checked-in golden baseline at P
+//   --golden-check P   recompute in-memory and bit-compare against P;
+//                      exit 1 on any drift
+// Golden content is virtual-time only (latencies under the table/analytical
+// cost models), so it is bit-stable across reruns, optimization levels and
+// sanitizers; --golden-* implies --smoke and pins the instance count so
+// HIOS_BENCH_INSTANCES cannot skew the baseline.
+struct BenchArgs {
+  bool smoke = false;
+  bool help = false;           ///< --help was printed; main should return 0
+  std::string golden_write;
+  std::string golden_check;
+  Json golden = Json::object();
+
+  /// Instances per point: fixed at 2 in smoke/golden mode, env-overridable
+  /// otherwise (see instances_per_point).
+  int instances() const { return smoke ? 2 : instances_per_point(); }
+};
+
+inline BenchArgs parse_bench_args(int argc, char** argv, const std::string& description) {
+  ArgParser args(description);
+  args.add_flag("smoke", "false", "reduced deterministic sweep (golden/CI regime)")
+      .add_flag("golden-write", "", "write the golden JSON baseline to this path")
+      .add_flag("golden-check", "", "recompute and bit-compare against this golden");
+  BenchArgs out;
+  if (!args.parse(argc, argv)) {
+    out.help = true;
+    return out;
+  }
+  out.smoke = args.get_bool("smoke");
+  out.golden_write = args.get("golden-write");
+  out.golden_check = args.get("golden-check");
+  if (!out.golden_write.empty() || !out.golden_check.empty()) out.smoke = true;
+  return out;
+}
+
+/// Prints the table and records its CSV under `tag` in the golden document.
+inline void golden_table(BenchArgs& args, const std::string& tag, const TextTable& table) {
+  print_table(table, tag);
+  args.golden[tag] = table.to_csv();
+}
+
+/// Writes/checks the golden baseline as requested; returns the process exit
+/// code. A mismatch prints the first differing line of the serialized JSON.
+inline int finish_bench(const BenchArgs& args) {
+  const std::string produced = args.golden.dump(true) + "\n";
+  if (!args.golden_write.empty()) {
+    std::ofstream f(args.golden_write);
+    HIOS_CHECK(f.good(), "cannot open --golden-write path " << args.golden_write);
+    f << produced;
+    std::printf("wrote golden %s\n", args.golden_write.c_str());
+  }
+  if (!args.golden_check.empty()) {
+    std::ifstream f(args.golden_check);
+    HIOS_CHECK(f.good(), "cannot open --golden-check path " << args.golden_check);
+    std::stringstream buffer;
+    buffer << f.rdbuf();
+    const std::string expected = buffer.str();
+    if (expected != produced) {
+      std::istringstream e(expected), p(produced);
+      std::string eline, pline;
+      int line = 1;
+      while (std::getline(e, eline) && std::getline(p, pline) && eline == pline) ++line;
+      std::fprintf(stderr,
+                   "FAIL: golden mismatch vs %s at line %d\n  golden:   %s\n"
+                   "  produced: %s\nRegenerate with --golden-write if intended.\n",
+                   args.golden_check.c_str(), line, eline.c_str(), pline.c_str());
+      return 1;
+    }
+    std::printf("golden check passed: %s\n", args.golden_check.c_str());
+  }
+  return 0;
 }
 
 /// One simulation data point (§V): `instances` random DAGs from `params`

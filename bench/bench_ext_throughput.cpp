@@ -4,10 +4,67 @@
 // schedules deliver under a saturated request stream (request-major
 // execution per GPU, overlap across GPUs). Reports single-shot latency,
 // steady-state inter-completion interval, and throughput for each
-// algorithm on the CNN benchmarks.
+// algorithm on the CNN benchmarks — plus the serving layer's view of the
+// same regime: a saturated serve::Server trace with stream-slot
+// concurrency, reporting shed/drop behaviour and tail latency.
 #include "bench_common.h"
+#include "serve/server.h"
 
 using namespace hios;
+
+namespace {
+
+// Serving-layer companion table: the same saturated stream, but through
+// the admission queue + stream slots instead of the stage-level pipeline
+// simulator. The pipeline study bounds what the schedule could deliver;
+// this reports what the serving stack does deliver, tails included.
+void serving_layer_study() {
+  bench::print_header("Extension: serving-layer throughput",
+                      "64-request saturated trace, dual A40, slots_per_gpu sweep");
+  TextTable table;
+  table.set_header({"model", "slots", "throughput_rps", "speedup_vs_single", "p50_ms",
+                    "p99_ms", "queue_p95_ms"});
+  struct Case {
+    std::string label;
+    ops::Model model;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"squeezenet-224", models::make_squeezenet()});
+  {
+    models::InceptionV3Options opt;
+    opt.image_hw = 299;
+    cases.push_back({"inception-299", models::make_inception_v3(opt)});
+  }
+  for (const Case& c : cases) {
+    for (int slots : {1, 4}) {
+      serve::ServerOptions opt;
+      opt.platform = cost::make_a40_server(2);
+      opt.slots_per_gpu = slots;
+      opt.queue_capacity = 64;
+      opt.use_engine = false;
+      serve::Server server(opt);
+      server.register_model(c.label, c.model);
+      serve::TraceParams params;
+      params.models = {c.label};
+      params.num_requests = 64;
+      const serve::ServeReport report = server.run_trace(serve::Trace::random(params, 1));
+      const double base_ms = report.responses.front().base_ms;
+      const serve::Metrics::Snapshot s = server.metrics().snapshot();
+      table.add_row({c.label, std::to_string(slots),
+                     TextTable::num(report.throughput_rps, 1),
+                     TextTable::num(report.throughput_rps * base_ms / 1000.0, 2),
+                     TextTable::num(s.latency.p50, 2), TextTable::num(s.latency.p99, 2),
+                     TextTable::num(s.queue_wait.p95, 2)});
+    }
+  }
+  bench::print_table(table, "ext_serving_throughput");
+  bench::print_expectation(
+      "stream slots multiply throughput until k * demand saturates the GPUs; p99 "
+      "latency at 1 slot is dominated by queueing (64th request waits 63 services), "
+      "while 4 slots cut the queue-wait tail ~4x.");
+}
+
+}  // namespace
 
 int main() {
   bench::print_header("Extension: pipelined throughput",
@@ -49,5 +106,7 @@ int main() {
       "multi-GPU schedules pipeline consecutive requests across GPUs, so their "
       "throughput advantage exceeds their latency advantage; single-GPU schedules "
       "(sequential/IOS) have pipeline gain 1.0 by construction.");
+
+  serving_layer_study();
   return 0;
 }

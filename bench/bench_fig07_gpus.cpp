@@ -5,8 +5,11 @@
 
 using namespace hios;
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 7: latency vs number of GPUs, random 200-op DAGs");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Figure 7", "latency (ms) vs number of GPUs, random 200-op DAGs, " +
                                       std::to_string(instances) + " instances/point");
 
@@ -14,7 +17,8 @@ int main() {
   TextTable table;
   table.set_header({"gpus", "sequential", "ios", "hios-lp", "hios-mr", "inter-lp",
                     "inter-mr", "lp_speedup_vs_seq", "lp_speedup_vs_ios"});
-  for (int gpus = 2; gpus <= 12; gpus += 2) {
+  const int max_gpus = args.smoke ? 4 : 12;
+  for (int gpus = 2; gpus <= max_gpus; gpus += 2) {
     const auto stats = bench::run_sim_point(params, gpus, instances);
     std::vector<std::string> row{std::to_string(gpus)};
     for (const std::string& alg : bench::all_algorithms())
@@ -25,10 +29,10 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig07");
+  bench::golden_table(args, "fig07", table);
   bench::print_expectation(
       "sequential/IOS flat (single GPU); HIOS-LP latency drops as GPUs grow (paper: "
       "1.4-3.8x speedup over sequential from 2 to 12 GPUs) and scales much better than "
       "HIOS-MR (paper: <= 1.5x).");
-  return 0;
+  return bench::finish_bench(args);
 }

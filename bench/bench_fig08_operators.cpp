@@ -5,15 +5,19 @@
 
 using namespace hios;
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 8: latency vs number of operators, M=4");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Figure 8", "latency (ms) vs number of operators, M=4, " +
                                       std::to_string(instances) + " instances/point");
 
   TextTable table;
   table.set_header({"ops", "sequential", "ios", "hios-lp", "hios-mr", "inter-lp",
                     "inter-mr", "intra_gain_lp%", "intra_gain_mr%"});
-  for (int ops = 100; ops <= 400; ops += 50) {
+  const int max_ops = args.smoke ? 150 : 400;
+  for (int ops = 100; ops <= max_ops; ops += 50) {
     models::RandomDagParams params;
     params.num_ops = ops;
     params.num_deps = 2 * ops;  // §V-A: deps = 2x ops
@@ -30,10 +34,10 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig08");
+  bench::golden_table(args, "fig08", table);
   bench::print_expectation(
       "HIOS-LP ~2x over sequential across sizes (paper: 2.01-2.12x) and best overall; "
       "intra-GPU parallelization trims inter-LP by ~6-8% and inter-MR by ~13-15% in the "
       "paper — MR leaves more co-located parallelism for Alg. 2 to harvest.");
-  return 0;
+  return bench::finish_bench(args);
 }

@@ -4,15 +4,19 @@
 
 using namespace hios;
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 9: latency vs dependency count, 200 ops, M=4");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Figure 9", "latency (ms) vs dependency count, 200 ops, M=4, " +
                                       std::to_string(instances) + " instances/point");
 
   TextTable table;
   table.set_header({"deps", "sequential", "ios", "hios-lp", "hios-mr", "inter-lp",
                     "inter-mr", "lp_speedup_vs_seq"});
-  for (int deps = 400; deps <= 600; deps += 50) {
+  const int max_deps = args.smoke ? 450 : 600;
+  for (int deps = 400; deps <= max_deps; deps += 50) {
     models::RandomDagParams params;
     params.num_deps = deps;
     const auto stats = bench::run_sim_point(params, 4, instances);
@@ -24,9 +28,9 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig09");
+  bench::golden_table(args, "fig09", table);
   bench::print_expectation(
       "speedups of HIOS-LP (paper: 2.06 -> 1.64 over sequential) and HIOS-MR (1.35 -> "
       "1.19) shrink as dependencies grow — fewer independent operators remain.");
-  return 0;
+  return bench::finish_bench(args);
 }

@@ -6,8 +6,11 @@
 
 using namespace hios;
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 10: latency vs operator-layer count, 200 ops, M=4");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Figure 10", "latency (ms) vs number of operator layers, 200 ops, "
                                    "M=4, " +
                                        std::to_string(instances) + " instances/point");
@@ -15,7 +18,8 @@ int main() {
   TextTable table;
   table.set_header({"layers", "ops_per_layer", "sequential", "ios", "hios-lp", "hios-mr",
                     "inter-lp", "inter-mr"});
-  for (int layers = 6; layers <= 22; layers += 4) {
+  const int max_layers = args.smoke ? 10 : 22;
+  for (int layers = 6; layers <= max_layers; layers += 4) {
     models::RandomDagParams params;
     params.num_layers = layers;
     const auto stats = bench::run_sim_point(params, 4, instances);
@@ -26,10 +30,10 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig10");
+  bench::golden_table(args, "fig10", table);
   bench::print_expectation(
       "sequential (~411 ms), IOS (~371 ms) and HIOS-MR (~305 ms) stay roughly flat; "
       "HIOS-LP improves as layers decrease (paper: 233 ms at 22 layers down to 174 ms "
       "at 6 layers) — it is self-adaptive to the model's degree of parallelism.");
-  return 0;
+  return bench::finish_bench(args);
 }

@@ -5,15 +5,19 @@
 
 using namespace hios;
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 11: latency vs transfer/compute ratio p, M=4");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Figure 11", "latency (ms) vs transfer/compute ratio p, M=4, " +
                                        std::to_string(instances) + " instances/point");
 
   TextTable table;
   table.set_header({"p", "sequential", "ios", "hios-lp", "hios-mr", "inter-lp", "inter-mr",
                     "lp_vs_seq", "mr_vs_ios"});
-  for (double p = 0.4; p <= 1.2 + 1e-9; p += 0.2) {
+  const double max_p = args.smoke ? 0.6 : 1.2;
+  for (double p = 0.4; p <= max_p + 1e-9; p += 0.2) {
     models::RandomDagParams params;
     params.comm_ratio = p;
     const auto stats = bench::run_sim_point(params, 4, instances);
@@ -26,10 +30,10 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig11");
+  bench::golden_table(args, "fig11", table);
   bench::print_expectation(
       "as communication gets costlier, HIOS-LP's advantage over sequential declines "
       "(paper: 2.23 -> 1.78) and HIOS-MR's over IOS declines to ~parity (1.37 -> 0.99) "
       "— multi-GPU scheduling pays off most on NVLink-class interconnects (p < 1).");
-  return 0;
+  return bench::finish_bench(args);
 }

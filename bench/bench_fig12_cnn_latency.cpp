@@ -11,7 +11,8 @@ using namespace hios;
 
 namespace {
 
-void run_model_sweep(const std::string& title, const std::vector<int64_t>& sizes,
+void run_model_sweep(bench::BenchArgs& args, const std::string& title,
+                     const std::vector<int64_t>& sizes,
                      const std::function<ops::Model(int64_t)>& build,
                      const std::string& csv_tag) {
   const std::vector<std::string> algs = {"sequential", "ios", "hios-lp", "hios-mr"};
@@ -34,16 +35,24 @@ void run_model_sweep(const std::string& title, const std::vector<int64_t>& sizes
     std::fflush(stdout);
   }
   std::printf("%s\n", title.c_str());
-  bench::print_table(table, csv_tag);
+  bench::golden_table(args, csv_tag, table);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 12: CNN inference latency vs input image size");
+  if (args.help) return 0;
   bench::print_header("Figure 12",
                       "CNN inference latency (ms) vs input image size, dual A40 + NVLink");
 
-  run_model_sweep("(a) Inception-v3 (119 ops / 153 deps)", {299, 512, 1024, 2048},
+  const std::vector<int64_t> inception_sizes =
+      args.smoke ? std::vector<int64_t>{299} : std::vector<int64_t>{299, 512, 1024, 2048};
+  const std::vector<int64_t> nasnet_sizes =
+      args.smoke ? std::vector<int64_t>{331} : std::vector<int64_t>{331, 512, 1024, 2048};
+
+  run_model_sweep(args, "(a) Inception-v3 (119 ops / 153 deps)", inception_sizes,
                   [](int64_t hw) {
                     models::InceptionV3Options opt;
                     opt.image_hw = hw;
@@ -51,7 +60,7 @@ int main() {
                   },
                   "fig12a_inception");
 
-  run_model_sweep("(b) NASNet-A (358 ops / 547 deps)", {331, 512, 1024, 2048},
+  run_model_sweep(args, "(b) NASNet-A (358 ops / 547 deps)", nasnet_sizes,
                   [](int64_t hw) {
                     models::NasnetOptions opt;
                     opt.image_hw = hw;
@@ -64,5 +73,5 @@ int main() {
       "(NASNet) in the paper, vs IOS by 3.3-16.5% / up to 11.1%, and vs HIOS-MR by "
       "10.9-16.8% / 8.8-16.2%; the margin grows with input size as operators saturate "
       "a single GPU.");
-  return 0;
+  return bench::finish_bench(args);
 }

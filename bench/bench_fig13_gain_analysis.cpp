@@ -6,7 +6,10 @@
 
 using namespace hios;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "Fig. 13: performance-gain breakdown for HIOS-LP");
+  if (args.help) return 0;
   bench::print_header("Figure 13",
                       "latency (ms) of all six algorithms on Inception-v3 and NASNet, "
                       "small and large inputs, dual A40 + NVLink");
@@ -16,12 +19,16 @@ int main() {
     ops::Model model;
   };
   std::vector<Case> cases;
-  for (int64_t hw : {int64_t{299}, int64_t{2048}}) {
+  const std::vector<int64_t> inception_sizes =
+      args.smoke ? std::vector<int64_t>{299} : std::vector<int64_t>{299, 2048};
+  const std::vector<int64_t> nasnet_sizes =
+      args.smoke ? std::vector<int64_t>{331} : std::vector<int64_t>{331, 2048};
+  for (int64_t hw : inception_sizes) {
     models::InceptionV3Options opt;
     opt.image_hw = hw;
     cases.push_back({"inception_" + std::to_string(hw), models::make_inception_v3(opt)});
   }
-  for (int64_t hw : {int64_t{331}, int64_t{2048}}) {
+  for (int64_t hw : nasnet_sizes) {
     models::NasnetOptions opt;
     opt.image_hw = hw;
     cases.push_back({"nasnet_" + std::to_string(hw), models::make_nasnet(opt)});
@@ -46,12 +53,12 @@ int main() {
     table.add_row(std::move(row));
     std::fflush(stdout);
   }
-  bench::print_table(table, "fig13");
+  bench::golden_table(args, "fig13", table);
   bench::print_expectation(
       "HIOS-LP's reduction over sequential is several times IOS's, especially at large "
       "inputs (paper: 9.9x for large Inception); inter-GPU scheduling contributes most "
       "of HIOS-LP's gain (paper: 98.2% / 81.6% for Inception large/small, ~100% for "
       "NASNet); for small NASNet inputs HIOS-LP may slightly trail IOS (paper: 5.4% "
       "worse) due to cross-GPU launch/transfer overheads.");
-  return 0;
+  return bench::finish_bench(args);
 }

@@ -105,11 +105,16 @@ int main(int argc, char** argv) {
       .add_flag("smoke", "false", "skip the image-size sweeps (wall-clock check only)")
       .add_flag("assert-max-ms", "0",
                 "exit 1 when the 512-op HIOS-LP scheduling wall-clock exceeds this "
-                "bound in ms (0 = no check)");
+                "bound in ms (0 = no check)")
+      .add_flag("golden-write", "", "write the virtual-time golden baseline to this path")
+      .add_flag("golden-check", "", "bit-compare the virtual-time results against this golden");
   if (!args.parse(argc, argv)) return 0;
 
   Json out = Json::object();
-  const bool smoke = args.get_bool("smoke");
+  const std::string golden_write = args.get("golden-write");
+  const std::string golden_check = args.get("golden-check");
+  const bool smoke =
+      args.get_bool("smoke") || !golden_write.empty() || !golden_check.empty();
 
   bench::print_header("Figure 14",
                       "time cost of scheduling optimization (minutes) vs input size");
@@ -147,6 +152,24 @@ int main(int argc, char** argv) {
     HIOS_CHECK(f.good(), "cannot open --json path " << path);
     f << out.dump(true) << "\n";
     std::printf("wrote %s\n", path.c_str());
+  }
+
+  // Golden baseline: only the virtual-time quantities (the scheduled
+  // latency, never the wall clock) are bit-stable, so the golden holds just
+  // those. Reuses the shared write/check helper through a BenchArgs shim.
+  if (!golden_write.empty() || !golden_check.empty()) {
+    bench::BenchArgs golden_args;
+    golden_args.golden_write = golden_write;
+    golden_args.golden_check = golden_check;
+    const Json& wall = out.at("sched_wallclock_512x4");
+    Json g = Json::object();
+    g["algorithm"] = wall.at("algorithm");
+    g["num_ops"] = wall.at("num_ops");
+    g["num_gpus"] = wall.at("num_gpus");
+    g["seed"] = wall.at("seed");
+    g["latency_ms"] = wall.at("latency_ms");
+    golden_args.golden["fig14_sched_512x4"] = std::move(g);
+    if (const int code = bench::finish_bench(golden_args); code != 0) return code;
   }
 
   const double bound = args.get_double("assert-max-ms");

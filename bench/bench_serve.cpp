@@ -1,0 +1,126 @@
+// Serving-layer benchmark: stream-slot throughput scaling + schedule cache.
+//
+// Two acceptance gates (DESIGN.md §6e), enforced with --assert:
+//   1. Throughput: at 4 GPUs x 4 stream slots a saturated request stream
+//      must sustain >= 4x the single-request throughput of the same
+//      schedule (with request_demand = 0.2, four in-flight requests fit
+//      inside the machine, so the virtual-time model must deliver exactly
+//      4x; the gate allows 3.99x for float slack). p50/p95/p99 latency is
+//      reported at every slot count.
+//   2. Schedule cache: a warm cache lookup must cost <= 1% of the cold
+//      profile + HIOS-LP scheduling pass it replaces.
+// Flags: --smoke (fewer requests), --assert (exit 1 when a gate fails).
+#include <chrono>
+
+#include "bench_common.h"
+#include "serve/server.h"
+
+using namespace hios;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool throughput_scaling(int num_requests, bool enforce) {
+  bench::print_header("Serving throughput",
+                      "saturated stream, SqueezeNet, 4 GPUs, slots_per_gpu sweep");
+  TextTable table;
+  table.set_header({"slots", "completed", "makespan_ms", "throughput_rps",
+                    "speedup_vs_single", "p50_ms", "p95_ms", "p99_ms"});
+  bool ok = true;
+  double four_slot_speedup = 0.0;
+  for (int slots : {1, 2, 4}) {
+    serve::ServerOptions opt;
+    opt.platform = cost::make_a40_server(4);
+    opt.slots_per_gpu = slots;
+    opt.queue_capacity = static_cast<std::size_t>(num_requests);
+    opt.use_engine = false;  // virtual-time throughput accounting
+    serve::Server server(opt);
+    server.register_model("squeezenet", models::make_squeezenet());
+
+    serve::TraceParams params;
+    params.models = {"squeezenet"};
+    params.num_requests = num_requests;  // all arrive at t = 0: saturation
+    const serve::ServeReport report = server.run_trace(serve::Trace::random(params, 1));
+
+    const double base_ms = report.responses.front().base_ms;
+    const double single_rps = 1000.0 / base_ms;  // one request at a time
+    const double speedup = report.throughput_rps / single_rps;
+    if (slots == 4) four_slot_speedup = speedup;
+    const serve::Metrics::Snapshot s = server.metrics().snapshot();
+    table.add_row({std::to_string(slots), std::to_string(s.completed),
+                   TextTable::num(report.makespan_ms, 2),
+                   TextTable::num(report.throughput_rps, 1), TextTable::num(speedup, 3),
+                   TextTable::num(s.latency.p50, 2), TextTable::num(s.latency.p95, 2),
+                   TextTable::num(s.latency.p99, 2)});
+  }
+  bench::print_table(table, "serve_throughput");
+  bench::print_expectation(
+      "throughput scales ~linearly with stream slots while k * demand <= 1 "
+      "(4 slots x 0.2 demand saturates exactly); queueing pushes p99 far above "
+      "p50 at low slot counts.");
+
+  if (four_slot_speedup < 3.99) {
+    std::fprintf(stderr, "FAIL: 4-slot speedup %.3f < 3.99x single-request throughput\n",
+                 four_slot_speedup);
+    ok = false;
+  } else {
+    std::printf("throughput gate passed: 4 slots sustain %.3fx single-request throughput\n\n",
+                four_slot_speedup);
+  }
+  return ok || !enforce;
+}
+
+bool cache_cost(bool enforce) {
+  bench::print_header("Schedule cache", "cold profile+schedule pass vs warm lookup");
+  serve::ScheduleCache cache(cost::make_a40_server(4));
+  // NASNet-A (358 ops): the expensive end of the model zoo, where the cold
+  // pass the cache short-circuits actually hurts. A warm lookup is one
+  // structural fingerprint + hash probe regardless of the model.
+  const ops::Model model = models::make_nasnet();
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+
+  auto cold = cache.get(model, "hios-lp", config);
+  const double cold_ms = cold->build_ms;
+
+  constexpr int kWarmLookups = 1000;
+  const double t0 = now_ms();
+  for (int i = 0; i < kWarmLookups; ++i) cache.get(model, "hios-lp", config);
+  const double warm_ms = (now_ms() - t0) / kWarmLookups;
+
+  TextTable table;
+  table.set_header({"pass", "cost_ms", "pct_of_cold"});
+  table.add_row({"cold (profile + hios-lp, nasnet)", TextTable::num(cold_ms, 3), "100.0"});
+  table.add_row({"warm lookup", TextTable::num(warm_ms, 6),
+                 TextTable::num(100.0 * warm_ms / cold_ms, 4)});
+  bench::print_table(table, "serve_cache");
+
+  if (warm_ms > 0.01 * cold_ms) {
+    std::fprintf(stderr, "FAIL: warm lookup %.6f ms exceeds 1%% of cold pass %.3f ms\n",
+                 warm_ms, cold_ms);
+    return !enforce;
+  }
+  std::printf("cache gate passed: warm lookup %.6f ms = %.4f%% of cold %.3f ms\n\n",
+              warm_ms, 100.0 * warm_ms / cold_ms, cold_ms);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("Serving layer: stream-slot throughput scaling and schedule-cache cost");
+  args.add_flag("smoke", "false", "fewer requests (CI regime)")
+      .add_flag("assert", "false", "exit 1 when an acceptance gate fails");
+  if (!args.parse(argc, argv)) return 0;
+  const bool smoke = args.get_bool("smoke");
+  const bool enforce = args.get_bool("assert");
+
+  bool ok = throughput_scaling(smoke ? 64 : 256, enforce);
+  ok = cache_cost(enforce) && ok;
+  return ok ? 0 : 1;
+}

@@ -21,6 +21,8 @@
 //   sim/     stage- and op-level discrete-event simulators, trace export
 //   runtime/ virtual-GPU engine (threads + MPI-like channels, real tensors)
 //            + failover rescheduling onto surviving GPUs
+//   serve/   multi-tenant serving: admission queue, stream slots, schedule
+//            cache, metrics
 //   core/    pipeline + experiment helpers
 #pragma once
 
@@ -58,6 +60,11 @@
 #include "sched/schedule.h"
 #include "sched/scheduler.h"
 #include "sched/validate.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/schedule_cache.h"
+#include "serve/server.h"
 #include "sim/event_sim.h"
 #include "sim/fault_sim.h"
 #include "sim/pipeline_sim.h"

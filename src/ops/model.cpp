@@ -82,6 +82,47 @@ int Model::num_compute_deps() const {
   return count;
 }
 
+uint64_t Model::fingerprint() const {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a over a canonical encoding
+  auto mix = [&h](int64_t v) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ULL;
+  };
+  mix(num_ops());
+  for (OpId id = 0; id < num_ops(); ++id) {
+    const Op& op = ops_[static_cast<std::size_t>(id)];
+    mix(static_cast<int64_t>(op.kind()));
+    switch (op.kind()) {
+      case OpKind::kConv2d:
+      case OpKind::kSepConv2d: {
+        const Conv2dAttr& a = op.conv_attr();
+        for (int64_t v : {a.out_channels, a.kh, a.kw, a.sh, a.sw, a.ph, a.pw, a.groups})
+          mix(v);
+        break;
+      }
+      case OpKind::kPool2d: {
+        const Pool2dAttr& a = op.pool_attr();
+        mix(static_cast<int64_t>(a.mode));
+        for (int64_t v : {a.kh, a.kw, a.sh, a.sw, a.ph, a.pw}) mix(v);
+        break;
+      }
+      case OpKind::kLinear:
+        mix(op.linear_attr().out_features);
+        break;
+      default:
+        break;
+    }
+    const TensorShape& shape = shapes_[static_cast<std::size_t>(id)];
+    mix(shape.n);
+    mix(shape.c);
+    mix(shape.h);
+    mix(shape.w);
+    mix(static_cast<int64_t>(inputs_[static_cast<std::size_t>(id)].size()));
+    for (OpId in : inputs_[static_cast<std::size_t>(id)]) mix(in);
+  }
+  return h;
+}
+
 graph::Graph Model::to_graph() const {
   graph::Graph g(name_);
   std::vector<graph::NodeId> node_of(static_cast<std::size_t>(num_ops()), graph::kInvalidNode);

@@ -64,6 +64,12 @@ class Model {
   /// Input-op ids in declaration order.
   const std::vector<OpId>& input_ids() const { return input_ids_; }
 
+  /// Structural fingerprint: a stable 64-bit hash over every operator's
+  /// kind, attributes, resolved output shape, and dependency list (the model
+  /// name is excluded — two identically-built models hash equal). Used by
+  /// the serving layer's schedule cache as the model part of its key.
+  uint64_t fingerprint() const;
+
  private:
   void check(OpId id) const {
     HIOS_CHECK(id >= 0 && id < num_ops(), "bad op id " << id << " in model " << name_);

@@ -157,9 +157,9 @@ ExecutionResult execute_schedule(const ops::Model& model, const graph::Graph& gr
             Message msg;
             const RecvStatus st = channels.at(e)->recv_until(msg, deadline);
             if (st == RecvStatus::kTimeout) {
-              throw Error("engine watchdog expired on GPU " + std::to_string(me) +
-                          " waiting for '" + graph.node_name(edge.src) + "' -> '" +
-                          graph.node_name(edge.dst) + "'");
+              throw WatchdogError("engine watchdog expired on GPU " + std::to_string(me) +
+                                  " waiting for '" + graph.node_name(edge.src) + "' -> '" +
+                                  graph.node_name(edge.dst) + "'");
             }
             if (st == RecvStatus::kClosed || !msg.delivered) {
               out.observations.push_back(fault::FaultObservation{

@@ -34,6 +34,16 @@
 
 namespace hios::runtime {
 
+/// Thrown when the wall-clock watchdog expires on a blocking receive — the
+/// runtime itself wedged, which the closed-channel protocol is supposed to
+/// make impossible. Distinguished from plain hios::Error so serving-layer
+/// liveness monitors (serve::Metrics) can count watchdog fires separately
+/// from ordinary request failures.
+class WatchdogError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Execution knobs beyond the schedule itself.
 struct ExecOptions {
   /// Fault script to inject; nullptr = fault-free run.

@@ -1,0 +1,134 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+namespace hios::serve {
+
+void Metrics::on_submitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.submitted;
+}
+
+void Metrics::on_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.rejected;
+}
+
+void Metrics::on_admitted(std::size_t queue_depth_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.admitted;
+  s_.queue_high_watermark = std::max(s_.queue_high_watermark, queue_depth_after);
+}
+
+void Metrics::on_completed(double latency_ms, double queue_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.completed;
+  latency_samples_.push_back(latency_ms);
+  queue_wait_samples_.push_back(queue_ms);
+}
+
+void Metrics::on_dropped() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.dropped;
+}
+
+void Metrics::on_failed(bool watchdog_fired) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.failed;
+  if (watchdog_fired) ++s_.watchdog_fires;
+}
+
+void Metrics::on_failover(const runtime::RecoveryMetrics& recovery) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!recovery.fault_occurred) return;
+  ++s_.failovers;
+  if (recovery.recovered) ++s_.recovered;
+  s_.reschedule_wall_ms += recovery.reschedule_wall_ms;
+}
+
+void Metrics::on_cache_result(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hit ? ++s_.cache_hits : ++s_.cache_misses;
+}
+
+void Metrics::set_queue_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.queue_capacity = capacity;
+}
+
+void Metrics::record_queue_depth(std::size_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.queue_high_watermark = std::max(s_.queue_high_watermark, depth);
+}
+
+void Metrics::set_makespan(double makespan_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.makespan_ms = makespan_ms;
+}
+
+double Metrics::Snapshot::throughput_rps() const {
+  if (makespan_ms <= 0.0) return 0.0;
+  return 1000.0 * static_cast<double>(completed) / makespan_ms;
+}
+
+bool Metrics::Snapshot::conserved() const {
+  return submitted == admitted + rejected &&
+         admitted == completed + dropped + failed;
+}
+
+Metrics::Snapshot Metrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out = s_;
+  out.latency = summarize_quantiles(latency_samples_);
+  out.queue_wait = summarize_quantiles(queue_wait_samples_);
+  return out;
+}
+
+Json Metrics::to_json() const {
+  const Snapshot s = snapshot();
+  Json j = Json::object();
+
+  Json counters = Json::object();
+  counters["submitted"] = s.submitted;
+  counters["admitted"] = s.admitted;
+  counters["rejected"] = s.rejected;
+  counters["completed"] = s.completed;
+  counters["dropped"] = s.dropped;
+  counters["failed"] = s.failed;
+  counters["watchdog_fires"] = s.watchdog_fires;
+  counters["failovers"] = s.failovers;
+  counters["recovered"] = s.recovered;
+  j["counters"] = std::move(counters);
+
+  Json cache = Json::object();
+  cache["hits"] = s.cache_hits;
+  cache["misses"] = s.cache_misses;
+  j["schedule_cache"] = std::move(cache);
+
+  Json queue = Json::object();
+  queue["capacity"] = s.queue_capacity;
+  queue["high_watermark"] = s.queue_high_watermark;
+  j["queue"] = std::move(queue);
+
+  auto quantiles = [](const QuantileSummary& q) {
+    Json out = Json::object();
+    out["count"] = q.count;
+    out["mean"] = q.mean;
+    out["p50"] = q.p50;
+    out["p95"] = q.p95;
+    out["p99"] = q.p99;
+    out["max"] = q.max;
+    return out;
+  };
+  j["latency_ms"] = quantiles(s.latency);
+  j["queue_wait_ms"] = quantiles(s.queue_wait);
+
+  Json throughput = Json::object();
+  throughput["makespan_ms"] = s.makespan_ms;
+  throughput["req_per_s"] = s.throughput_rps();
+  j["throughput"] = std::move(throughput);
+
+  return j;
+}
+
+}  // namespace hios::serve

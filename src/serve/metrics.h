@@ -1,0 +1,83 @@
+// Serving metrics: counters, tail-latency reservoirs, queue gauges.
+//
+// Every request ends in exactly one of four verdicts, giving the
+// conservation invariants the stress suite pins:
+//   submitted = admitted + rejected
+//   admitted  = completed + dropped + failed
+// Latency/queue-wait reservoirs hold *virtual-time* samples only, so a
+// metrics snapshot is a pure function of the request trace and the cost
+// model — identical across reruns and thread interleavings (the
+// deterministic-replay contract, DESIGN.md §6e). Wall-clock quantities
+// (scheduling cost of cold cache fills) are reported separately and
+// excluded from to_json.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/failover.h"
+#include "util/json.h"
+#include "util/stats.h"
+
+namespace hios::serve {
+
+/// Thread-safe metrics sink shared by the server's admission and execution
+/// paths. All mutators may race; aggregates are order-independent except
+/// reservoir insertion order (Server::run_trace therefore records samples
+/// in request-id order).
+class Metrics {
+ public:
+  // --- admission ------------------------------------------------------
+  void on_submitted();
+  void on_rejected();
+  void on_admitted(std::size_t queue_depth_after);
+
+  // --- terminal verdicts (admitted requests only) ---------------------
+  void on_completed(double latency_ms, double queue_ms);
+  void on_dropped();
+  void on_failed(bool watchdog_fired);
+
+  // --- execution-path detail ------------------------------------------
+  void on_failover(const runtime::RecoveryMetrics& recovery);
+  void on_cache_result(bool hit);
+  void set_queue_capacity(std::size_t capacity);
+  void record_queue_depth(std::size_t depth);
+  /// Virtual makespan of the run (for sustained-throughput reporting).
+  void set_makespan(double makespan_ms);
+
+  /// Point-in-time copy of every aggregate.
+  struct Snapshot {
+    int64_t submitted = 0, admitted = 0, rejected = 0;
+    int64_t completed = 0, dropped = 0, failed = 0;
+    int64_t watchdog_fires = 0;
+    int64_t failovers = 0, recovered = 0;
+    double reschedule_wall_ms = 0.0;  ///< total failover re-scheduling wall clock
+    int64_t cache_hits = 0, cache_misses = 0;
+    std::size_t queue_capacity = 0, queue_high_watermark = 0;
+    double makespan_ms = 0.0;
+    QuantileSummary latency;    ///< completed requests: arrival -> finish
+    QuantileSummary queue_wait; ///< completed requests: arrival -> dispatch
+
+    /// Completed requests per virtual second (0 when makespan unset).
+    double throughput_rps() const;
+    /// submitted = admitted + rejected and admitted = completed + dropped
+    /// + failed — false only on a live server mid-flight or a lost request.
+    bool conserved() const;
+  };
+
+  Snapshot snapshot() const;
+
+  /// Deterministic JSON dump (virtual-time quantities only — no wall clock
+  /// except the explicitly-labelled failover re-scheduling total, which is
+  /// also excluded here for replay stability).
+  Json to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  Snapshot s_;
+  std::vector<double> latency_samples_;
+  std::vector<double> queue_wait_samples_;
+};
+
+}  // namespace hios::serve

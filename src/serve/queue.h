@@ -1,0 +1,109 @@
+// Bounded MPMC admission queue.
+//
+// The serving front door: producers (request submitters) race try_push,
+// consumers (stream-slot workers) race pop. Unlike runtime::Channel — the
+// unbounded SPSC edge channel of the engine — this queue is *bounded*:
+// try_push fails when the queue is at capacity, which is the server's
+// overload-rejection policy, and push blocks, which is the executor's
+// backpressure. close() wakes everyone; a closed queue drains its remaining
+// items before pop reports exhaustion, so no admitted request is lost.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/error.h"
+
+namespace hios::serve {
+
+/// Bounded thread-safe multi-producer/multi-consumer FIFO.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    HIOS_CHECK(capacity > 0, "BoundedQueue capacity must be positive");
+  }
+
+  /// Non-blocking enqueue; false when the queue is full or closed (the
+  /// admission-reject path). On failure `value` is left untouched, so the
+  /// caller can still complete it with a rejection response.
+  bool try_push(T&& value) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(value));
+      high_watermark_ = std::max(high_watermark_, queue_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking enqueue; waits for space. False when the queue was closed
+  /// before the value could be accepted (value left untouched).
+  bool push(T&& value) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [&] { return closed_ || queue_.size() < capacity_; });
+      if (closed_) return false;
+      queue_.push_back(std::move(value));
+      high_watermark_ = std::max(high_watermark_, queue_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking dequeue; nullopt once the queue is closed *and* drained.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return std::nullopt;  // closed and drained
+      out.emplace(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Marks the queue closed and wakes all waiters. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Deepest the queue ever got (overload diagnostics).
+  std::size_t high_watermark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_watermark_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  std::size_t high_watermark_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace hios::serve

@@ -1,0 +1,80 @@
+// Request/response model of the serving layer.
+//
+// A Request names a model registered with the serve::Server and carries its
+// *virtual* arrival time and (absolute) deadline — serving time is the same
+// modelled virtual time the engine and simulators use, so every admission
+// decision and latency sample is deterministic and replayable. A Trace is a
+// deterministic request stream drawn from a seed (the serving analogue of
+// fault::FaultPlan::random).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ops/tensor.h"
+
+namespace hios::serve {
+
+using RequestId = int64_t;
+
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
+
+/// One inference request against a registered model.
+struct Request {
+  RequestId id = -1;
+  std::string model;           ///< name registered via Server::register_model
+  double arrival_ms = 0.0;     ///< virtual arrival time
+  double deadline_ms = kNoDeadline;  ///< absolute virtual deadline
+};
+
+/// Terminal state of a request. Conservation invariant (see serve::Metrics):
+/// submitted = admitted + rejected and admitted = completed + dropped + failed.
+enum class Verdict {
+  kCompleted,  ///< executed (and, under faults, possibly failover-recovered)
+  kRejected,   ///< bounced at admission: the queue was full
+  kDropped,    ///< admitted but the deadline was not met (trace mode: never executed)
+  kFailed,     ///< execution failed (unrecoverable fault, engine error)
+};
+
+const char* verdict_name(Verdict verdict);
+
+/// What the caller gets back for one request.
+struct Response {
+  RequestId id = -1;
+  Verdict verdict = Verdict::kFailed;
+  int lane = -1;              ///< stream slot that executed the request
+  int concurrency = 1;        ///< in-flight requests (this one included) at start
+  double queue_ms = 0.0;      ///< virtual wait between arrival and dispatch
+  double start_ms = 0.0;      ///< virtual dispatch time
+  double finish_ms = 0.0;     ///< virtual completion time
+  double latency_ms = 0.0;    ///< finish - arrival (queueing + execution)
+  double base_ms = 0.0;       ///< single-request latency of the cached schedule
+  double contention_scale = 1.0;  ///< stream-slot slowdown applied to base_ms
+  bool recovered = false;     ///< a fault fired and failover completed the run
+  std::string error;          ///< failure detail (kFailed only)
+  std::map<int, ops::Tensor> outputs;  ///< graph-sink tensors by op id (engine mode)
+};
+
+/// Parameters of a random request stream.
+struct TraceParams {
+  std::vector<std::string> models;   ///< drawn uniformly per request
+  int num_requests = 64;
+  /// Mean of the exponential inter-arrival gap; 0 = every request at t = 0
+  /// (closed-loop saturation, the throughput-benchmark regime).
+  double mean_interarrival_ms = 0.0;
+  /// Relative deadline added to each arrival; kNoDeadline = none.
+  double deadline_slack_ms = kNoDeadline;
+};
+
+/// A deterministic, replayable request stream.
+struct Trace {
+  std::vector<Request> requests;
+
+  /// Draws a trace from `seed` (same seed = same trace, any platform).
+  static Trace random(const TraceParams& params, uint64_t seed);
+};
+
+}  // namespace hios::serve

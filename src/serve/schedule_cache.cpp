@@ -1,0 +1,66 @@
+#include "serve/schedule_cache.h"
+
+#include <chrono>
+
+namespace hios::serve {
+
+namespace {
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
+                                                     const std::string& algorithm,
+                                                     const sched::SchedulerConfig& config,
+                                                     bool* was_hit) {
+  const Key key{model.fingerprint(), config.num_gpus, config.window, algorithm};
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = map_.find(key); it != map_.end()) {
+    ++hits_;
+    if (was_hit != nullptr) *was_hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (was_hit != nullptr) *was_hit = false;
+  const double t0 = now_ms();
+  cost::Platform platform = platform_;
+  platform.num_gpus = config.num_gpus;
+  auto plan = std::make_shared<CachedPlan>();
+  plan->profiled = cost::profile_model(model, platform);
+  const sched::ScheduleResult result =
+      sched::make_scheduler(algorithm)->schedule(plan->profiled.graph,
+                                                 *plan->profiled.cost, config);
+  plan->schedule = result.schedule;
+  plan->latency_ms = result.latency_ms;
+  plan->scheduling_ms = result.scheduling_ms;
+  plan->build_ms = now_ms() - t0;
+  plan->algorithm = algorithm;
+  build_ms_ += plan->build_ms;
+  map_.emplace(key, plan);
+  return plan;
+}
+
+std::size_t ScheduleCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t ScheduleCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+double ScheduleCache::total_build_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return build_ms_;
+}
+
+std::size_t ScheduleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+}  // namespace hios::serve

@@ -1,0 +1,89 @@
+// Schedule cache: repeat requests skip the scheduling pass entirely.
+//
+// Scheduling a model is the expensive part of serving it cold: profiling
+// plus a HIOS-LP pass costs ~14 ms on a 512-op DAG (DESIGN.md §6d) — far
+// more than admitting a request. Schedules depend only on (model structure,
+// GPU count, algorithm, merge window) under a fixed platform, so the cache
+// keys on exactly that tuple (model structure via ops::Model::fingerprint)
+// and a warm request costs one hash lookup. Entries are immutable
+// shared_ptrs: a cached plan can be executed concurrently by every stream
+// slot while new models are being profiled.
+//
+// Invalidation (DESIGN.md §6e): a cache instance is bound to one Platform
+// at construction; registering a different platform means a different
+// cache. Models are value-copied at build time and never mutate, so
+// entries live for the cache's lifetime.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cost/analytical_model.h"
+#include "cost/gpu_spec.h"
+#include "ops/model.h"
+#include "sched/scheduler.h"
+
+namespace hios::serve {
+
+/// One immutable cached scheduling result.
+struct CachedPlan {
+  cost::ProfiledModel profiled;   ///< graph with weights + matching cost model
+  sched::Schedule schedule;
+  double latency_ms = 0.0;        ///< evaluated single-request latency
+  double scheduling_ms = 0.0;     ///< wall clock of the cold scheduler pass
+  double build_ms = 0.0;          ///< wall clock of profile + schedule (cold)
+  std::string algorithm;
+};
+
+/// Thread-safe (model, nGPU, algorithm, window) -> plan cache.
+class ScheduleCache {
+ public:
+  explicit ScheduleCache(cost::Platform platform) : platform_(std::move(platform)) {}
+
+  /// Returns the plan for (model.fingerprint(), config.num_gpus, algorithm,
+  /// config.window), building it (profile + schedule) on the first request.
+  /// The build runs under the cache lock: concurrent cold requests for the
+  /// same model serialize instead of scheduling twice. `was_hit`, when
+  /// non-null, reports whether this call hit the cache.
+  std::shared_ptr<const CachedPlan> get(const ops::Model& model,
+                                        const std::string& algorithm,
+                                        const sched::SchedulerConfig& config,
+                                        bool* was_hit = nullptr);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  /// Total wall clock spent on cold builds (profile + schedule).
+  double total_build_ms() const;
+  std::size_t size() const;
+
+  const cost::Platform& platform() const { return platform_; }
+
+ private:
+  struct Key {
+    uint64_t model_fp = 0;
+    int num_gpus = 0;
+    int window = 0;
+    std::string algorithm;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = k.model_fp;
+      h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.num_gpus);
+      h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.window);
+      h = h * 1099511628211ULL ^ std::hash<std::string>{}(k.algorithm);
+      return h;
+    }
+  };
+
+  cost::Platform platform_;
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<const CachedPlan>, KeyHash> map_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  double build_ms_ = 0.0;
+};
+
+}  // namespace hios::serve

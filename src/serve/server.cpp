@@ -1,0 +1,372 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <utility>
+
+#include "cost/cost_model.h"
+#include "runtime/failover.h"
+#include "util/error.h"
+
+namespace hios::serve {
+
+double stream_contention_scale(int concurrency, double demand, double kappa) {
+  HIOS_CHECK(concurrency >= 1, "stream_contention_scale: concurrency must be >= 1");
+  HIOS_CHECK(demand > 0.0, "stream_contention_scale: demand must be > 0");
+  const std::vector<double> times(static_cast<std::size_t>(concurrency), 1.0);
+  const std::vector<double> demands(static_cast<std::size_t>(concurrency), demand);
+  return cost::contention_stage_time(times, demands, kappa, /*stream_overhead_ms=*/0.0);
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      config_(options_.config),
+      cache_(options_.platform) {
+  HIOS_CHECK(options_.platform.num_gpus >= 1, "ServerOptions: platform needs >= 1 GPU");
+  HIOS_CHECK(options_.slots_per_gpu >= 1, "ServerOptions: slots_per_gpu must be >= 1");
+  HIOS_CHECK(options_.queue_capacity > 0, "ServerOptions: queue_capacity must be > 0");
+  HIOS_CHECK(options_.request_demand > 0.0 && options_.request_demand <= 1.0,
+             "ServerOptions: request_demand must be in (0, 1]");
+  config_.num_gpus = options_.platform.num_gpus;
+  metrics_.set_queue_capacity(options_.queue_capacity);
+}
+
+Server::~Server() { drain(); }
+
+void Server::register_model(const std::string& name, ops::Model model) {
+  HIOS_CHECK(!name.empty(), "register_model: name must not be empty");
+  std::lock_guard<std::mutex> lock(models_mu_);
+  models_.insert_or_assign(name, std::move(model));
+}
+
+const ops::Model& Server::model(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(models_mu_);
+  auto it = models_.find(name);
+  HIOS_CHECK(it != models_.end(), "unknown model '" << name << "'");
+  // std::map node addresses are stable and models are never erased, so the
+  // reference outlives the lock.
+  return it->second;
+}
+
+std::shared_ptr<const CachedPlan> Server::resolve_plan(const std::string& model_name) {
+  const ops::Model* registered = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(models_mu_);
+    auto it = models_.find(model_name);
+    HIOS_CHECK(it != models_.end(), "unknown model '" << model_name << "'");
+    registered = &it->second;
+  }
+  bool hit = false;
+  auto plan = cache_.get(*registered, options_.algorithm, config_, &hit);
+  metrics_.on_cache_result(hit);
+  return plan;
+}
+
+Server::EngineOutcome Server::execute_plan(const ops::Model& model,
+                                           const CachedPlan& plan) {
+  EngineOutcome out;
+  try {
+    const bool faulted = options_.faults != nullptr && !options_.faults->empty();
+    if (faulted && options_.failover) {
+      runtime::FailoverOptions fo;
+      fo.algorithm = options_.algorithm;
+      fo.config = config_;
+      fo.exec.watchdog_ms = options_.watchdog_ms;
+      auto result = runtime::execute_with_failover(
+          model, plan.profiled.graph, plan.schedule, plan.profiled.cost,
+          *options_.faults, /*inputs=*/{}, fo);
+      out.outputs = std::move(result.outputs);
+      out.timeline = std::move(result.primary.timeline);
+      out.recovery = result.metrics;
+      out.recovered = result.metrics.fault_occurred && result.metrics.recovered;
+    } else {
+      runtime::ExecOptions eo;
+      eo.faults = faulted ? options_.faults : nullptr;
+      eo.watchdog_ms = options_.watchdog_ms;
+      auto result = runtime::execute_schedule(model, plan.profiled.graph,
+                                              plan.schedule, *plan.profiled.cost,
+                                              /*inputs=*/{}, eo);
+      out.outputs = std::move(result.outputs);
+      out.timeline = std::move(result.timeline);
+    }
+    out.ok = true;
+  } catch (const runtime::WatchdogError& e) {
+    out.watchdog = true;
+    out.error = e.what();
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+ServeReport Server::run_trace(const Trace& trace) {
+  struct Item {
+    const Request* req = nullptr;
+    std::shared_ptr<const CachedPlan> plan;
+    Response resp;
+    std::size_t depth_at_admission = 0;  ///< queue depth right after admission
+    bool execute = false;                ///< provisionally completed -> engine run
+  };
+
+  std::vector<Item> items(trace.requests.size());
+  for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+    items[i].req = &trace.requests[i];
+    items[i].resp.id = trace.requests[i].id;
+  }
+
+  // Resolve (and cold-build) plans in sorted model-name order so cache
+  // hit/miss counters are trace-order independent.
+  {
+    std::map<std::string, std::shared_ptr<const CachedPlan>> plans;
+    for (const auto& item : items) plans[item.req->model] = nullptr;
+    for (auto& [name, plan] : plans) plan = resolve_plan(name);
+    for (auto& item : items) item.plan = plans.at(item.req->model);
+  }
+
+  // --- virtual-time admission + dispatch --------------------------------
+  // Requests arrive in (arrival, id) order; K = num_lanes() stream slots
+  // each hold one in-flight request. A request dispatched while k-1 others
+  // overlap its start runs stream_contention_scale(k, ...) slower, frozen
+  // at dispatch.
+  std::vector<Item*> order;
+  order.reserve(items.size());
+  for (auto& item : items) order.push_back(&item);
+  std::stable_sort(order.begin(), order.end(), [](const Item* a, const Item* b) {
+    if (a->req->arrival_ms != b->req->arrival_ms)
+      return a->req->arrival_ms < b->req->arrival_ms;
+    return a->req->id < b->req->id;
+  });
+
+  const int lanes = num_lanes();
+  const double kappa = options_.platform.gpu.contention_kappa;
+  std::vector<double> lane_free(static_cast<std::size_t>(lanes), 0.0);
+  std::deque<Item*> pending;
+
+  auto free_lane = [&]() -> int {
+    int best = 0;
+    for (int l = 1; l < lanes; ++l) {
+      if (lane_free[static_cast<std::size_t>(l)] <
+          lane_free[static_cast<std::size_t>(best)]) {
+        best = l;
+      }
+    }
+    return best;
+  };
+
+  // Dispatches queued requests whose lane frees up by `horizon`.
+  auto dispatch_until = [&](double horizon) {
+    while (!pending.empty()) {
+      const int lane = free_lane();
+      const double lane_ms = lane_free[static_cast<std::size_t>(lane)];
+      if (lane_ms > horizon) break;
+      Item* item = pending.front();
+      pending.pop_front();
+      const double start = std::max(lane_ms, item->req->arrival_ms);
+      int in_flight = 1;
+      for (int l = 0; l < lanes; ++l) {
+        if (l != lane && lane_free[static_cast<std::size_t>(l)] > start) ++in_flight;
+      }
+      const double scale =
+          stream_contention_scale(in_flight, options_.request_demand, kappa);
+      const double duration = item->plan->latency_ms * scale;
+
+      Response& resp = item->resp;
+      resp.lane = lane;
+      resp.concurrency = in_flight;
+      resp.queue_ms = start - item->req->arrival_ms;
+      resp.start_ms = start;
+      resp.base_ms = item->plan->latency_ms;
+      resp.contention_scale = scale;
+      if (start + duration > item->req->deadline_ms) {
+        // Unmeetable deadline: drop without occupying the lane.
+        resp.verdict = Verdict::kDropped;
+        resp.finish_ms = start;
+        resp.latency_ms = 0.0;
+      } else {
+        resp.verdict = Verdict::kCompleted;  // provisional until engine run
+        resp.finish_ms = start + duration;
+        resp.latency_ms = resp.finish_ms - item->req->arrival_ms;
+        lane_free[static_cast<std::size_t>(lane)] = resp.finish_ms;
+        item->execute = true;
+      }
+    }
+  };
+
+  for (Item* item : order) {
+    dispatch_until(item->req->arrival_ms);
+    if (pending.size() >= options_.queue_capacity) {
+      item->resp.verdict = Verdict::kRejected;
+      item->resp.finish_ms = item->req->arrival_ms;
+    } else {
+      pending.push_back(item);
+      item->depth_at_admission = pending.size();
+      metrics_.record_queue_depth(pending.size());
+    }
+  }
+  dispatch_until(std::numeric_limits<double>::infinity());
+
+  // --- engine execution of the admitted requests ------------------------
+  // Real worker pool fed by the bounded queue: the liveness/TSan surface.
+  // Results land in per-item slots, so thread interleaving cannot affect
+  // anything the report contains.
+  std::vector<EngineOutcome> outcomes(items.size());
+  if (options_.use_engine) {
+    std::vector<std::size_t> work_items;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (items[i].execute) work_items.push_back(i);
+    }
+    if (!work_items.empty()) {
+      BoundedQueue<std::size_t> work(options_.queue_capacity);
+      std::vector<std::thread> pool;
+      const int workers = std::min<int>(lanes, static_cast<int>(work_items.size()));
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) {
+        pool.emplace_back([&] {
+          while (auto idx = work.pop()) {
+            Item& item = items[*idx];
+            outcomes[*idx] = execute_plan(model(item.req->model), *item.plan);
+          }
+        });
+      }
+      for (std::size_t idx : work_items) work.push(std::size_t{idx});
+      work.close();
+      for (auto& t : pool) t.join();
+    }
+  }
+
+  // --- assemble report + metrics in request-id order --------------------
+  ServeReport report;
+  report.timeline.num_gpus = options_.platform.num_gpus;
+  std::vector<std::size_t> by_id(items.size());
+  for (std::size_t i = 0; i < by_id.size(); ++i) by_id[i] = i;
+  std::sort(by_id.begin(), by_id.end(), [&](std::size_t a, std::size_t b) {
+    return items[a].resp.id < items[b].resp.id;
+  });
+
+  for (std::size_t idx : by_id) {
+    Item& item = items[idx];
+    Response& resp = item.resp;
+    metrics_.on_submitted();
+    if (resp.verdict == Verdict::kRejected) {
+      metrics_.on_rejected();
+    } else {
+      metrics_.on_admitted(item.depth_at_admission);
+      if (item.execute && options_.use_engine) {
+        EngineOutcome& out = outcomes[idx];
+        if (!out.ok) {
+          resp.verdict = Verdict::kFailed;
+          resp.error = out.error;
+          metrics_.on_failed(out.watchdog);
+        } else {
+          resp.outputs = std::move(out.outputs);
+          resp.recovered = out.recovered;
+          metrics_.on_completed(resp.latency_ms, resp.queue_ms);
+          if (options_.faults != nullptr) metrics_.on_failover(out.recovery);
+          report.timeline.merge(out.timeline.shifted(resp.start_ms));
+        }
+      } else if (resp.verdict == Verdict::kCompleted) {
+        metrics_.on_completed(resp.latency_ms, resp.queue_ms);
+      } else {
+        metrics_.on_dropped();
+      }
+    }
+    report.makespan_ms = std::max(report.makespan_ms, resp.finish_ms);
+    report.responses.push_back(std::move(resp));
+  }
+  metrics_.set_makespan(report.makespan_ms);
+
+  const Metrics::Snapshot snap = metrics_.snapshot();
+  report.throughput_rps = snap.throughput_rps();
+  report.metrics = metrics_.to_json();
+  return report;
+}
+
+// --- online API ---------------------------------------------------------
+
+void Server::start() {
+  if (!workers_.empty()) return;
+  online_queue_ =
+      std::make_unique<BoundedQueue<OnlineItem>>(options_.queue_capacity);
+  const int lanes = num_lanes();
+  workers_.reserve(static_cast<std::size_t>(lanes));
+  for (int l = 0; l < lanes; ++l) {
+    workers_.emplace_back([this] { online_worker(); });
+  }
+}
+
+std::future<Response> Server::submit(Request request) {
+  HIOS_CHECK(!workers_.empty(), "Server::submit requires start()");
+  metrics_.on_submitted();
+  OnlineItem item;
+  item.request = std::move(request);
+  std::future<Response> future = item.promise.get_future();
+  const RequestId id = item.request.id;
+  const double arrival = item.request.arrival_ms;
+  if (online_queue_->try_push(std::move(item))) {
+    metrics_.on_admitted(online_queue_->size());
+    metrics_.record_queue_depth(online_queue_->size());
+  } else {
+    metrics_.on_rejected();
+    Response resp;
+    resp.id = id;
+    resp.verdict = Verdict::kRejected;
+    resp.start_ms = arrival;
+    resp.finish_ms = arrival;
+    item.promise.set_value(std::move(resp));
+  }
+  return future;
+}
+
+void Server::drain() {
+  if (online_queue_) online_queue_->close();
+  for (auto& t : workers_) t.join();
+  workers_.clear();
+}
+
+void Server::online_worker() {
+  while (auto popped = online_queue_->pop()) {
+    OnlineItem item = std::move(*popped);
+    const Request& req = item.request;
+    Response resp;
+    resp.id = req.id;
+    try {
+      auto plan = resolve_plan(req.model);
+      resp.base_ms = plan->latency_ms;
+      resp.start_ms = req.arrival_ms;
+      EngineOutcome out;
+      if (options_.use_engine) {
+        out = execute_plan(model(req.model), *plan);
+      } else {
+        out.ok = true;
+      }
+      if (!out.ok) {
+        resp.verdict = Verdict::kFailed;
+        resp.error = out.error;
+        metrics_.on_failed(out.watchdog);
+      } else {
+        resp.finish_ms = req.arrival_ms + plan->latency_ms;
+        resp.latency_ms = plan->latency_ms;
+        resp.outputs = std::move(out.outputs);
+        resp.recovered = out.recovered;
+        if (resp.finish_ms > req.deadline_ms) {
+          resp.verdict = Verdict::kDropped;
+          metrics_.on_dropped();
+        } else {
+          resp.verdict = Verdict::kCompleted;
+          metrics_.on_completed(resp.latency_ms, resp.queue_ms);
+        }
+        if (options_.faults != nullptr && options_.use_engine) {
+          metrics_.on_failover(out.recovery);
+        }
+      }
+    } catch (const std::exception& e) {
+      resp.verdict = Verdict::kFailed;
+      resp.error = e.what();
+      metrics_.on_failed(false);
+    }
+    item.promise.set_value(std::move(resp));
+  }
+}
+
+}  // namespace hios::serve

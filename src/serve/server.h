@@ -1,0 +1,156 @@
+// serve::Server — multi-tenant request serving over the virtual-GPU engine.
+//
+// The paper (and everything below sched/) optimises the latency of ONE
+// inference; a serving system multiplexes many. The server adds the
+// request level on top of the per-request machinery:
+//
+//   * Admission: a bounded MPMC queue with per-request deadlines. A full
+//     queue rejects (overload shedding); an admitted request whose deadline
+//     cannot be met at dispatch time is dropped without executing.
+//   * Stream slots: `slots_per_gpu` lanes, each spanning the whole vGPU
+//     set, execute up to K requests concurrently — the modelled analogue of
+//     running K CUDA streams per GPU (§III-A's L). Overlapping requests
+//     contend for the modelled GPUs through the same malleable-task
+//     contention formula the cost model uses for intra-stage concurrency
+//     (cost::contention_stage_time, the Fig. 1 experiment): a request
+//     dispatched while k-1 others are in flight runs
+//     stream_contention_scale(k, demand, kappa) times slower.
+//   * Schedule cache: (model fingerprint, nGPU, algorithm, window) -> plan,
+//     so repeat requests skip profiling + scheduling entirely.
+//   * Metrics: serve::Metrics counters + tail-latency reservoirs, threaded
+//     through the engine (watchdog fires) and failover (recoveries).
+//
+// Two entry points share those pieces:
+//   * run_trace(trace) — deterministic serving of a virtual-time request
+//     trace. Admission, dispatch, contention, and every metric are computed
+//     in virtual time (bit-identical across reruns and thread counts);
+//     engine execution of the admitted requests still runs on a real
+//     worker pool fed by the bounded queue, proving the tensors.
+//   * start()/submit()/drain() — online API: callers race submit() against
+//     the bounded queue from any thread; lane workers execute and fulfil
+//     futures. Wall-clock-concurrent, conservation-exact, but completion
+//     order (hence reservoir insertion order) is scheduling-dependent.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cost/gpu_spec.h"
+#include "fault/fault_plan.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+#include "serve/schedule_cache.h"
+#include "sim/timeline.h"
+
+namespace hios::serve {
+
+/// Serving configuration.
+struct ServerOptions {
+  /// Machine model; num_gpus here is the serving GPU count.
+  cost::Platform platform = cost::make_a40_server(2);
+  /// Stream slots per GPU: K requests execute concurrently on the vGPU set.
+  int slots_per_gpu = 2;
+  /// Admission queue bound; a full queue rejects new requests.
+  std::size_t queue_capacity = 64;
+  /// Scheduling algorithm + tunables for cached plans.
+  std::string algorithm = "hios-lp";
+  sched::SchedulerConfig config;  ///< num_gpus is overridden from platform
+  /// GPU fraction one in-flight request saturates (feeds the contention
+  /// formula). 0.2 means 5 concurrent requests fill the machine exactly.
+  double request_demand = 0.2;
+  /// Execute real tensors through the engine (true) or account virtual
+  /// time only (false; throughput benchmarks).
+  bool use_engine = true;
+  /// Fault script injected into every request's engine run (per-request
+  /// virtual time, so each request sees the same script). nullptr = none.
+  const fault::FaultPlan* faults = nullptr;
+  /// Reschedule-on-survivors when a fault leaves a request incomplete.
+  bool failover = true;
+  /// Engine wall-clock watchdog per blocking receive (<= 0 disables).
+  double watchdog_ms = 60000.0;
+};
+
+/// Everything a deterministic trace run produced.
+struct ServeReport {
+  std::vector<Response> responses;  ///< sorted by request id
+  double makespan_ms = 0.0;         ///< last virtual completion
+  double throughput_rps = 0.0;      ///< completed requests per virtual second
+  /// Per-request engine timelines shifted to their virtual dispatch times
+  /// and merged (engine mode only).
+  sim::Timeline timeline;
+  Json metrics;                     ///< Metrics::to_json() after the run
+};
+
+/// Slowdown of one request when `concurrency` requests share the vGPU set,
+/// each saturating fraction `demand` of every GPU: `concurrency` identical
+/// unit-time streams through cost::contention_stage_time (zero stream
+/// overhead), i.e. max(1, k*r) with the kappa penalty beyond saturation.
+double stream_contention_scale(int concurrency, double demand, double kappa);
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  /// Registers `model` under `name`; requests reference it by name.
+  /// Re-registering a name replaces the model (the schedule cache keys on
+  /// structure, so stale plans are simply never hit again).
+  void register_model(const std::string& name, ops::Model model);
+  const ops::Model& model(const std::string& name) const;
+
+  /// Deterministic virtual-time serving of a trace (see file comment).
+  ServeReport run_trace(const Trace& trace);
+
+  // --- online API -----------------------------------------------------
+  /// Spawns the lane workers. Idempotent.
+  void start();
+  /// Admission-checks and enqueues; the future resolves when a lane
+  /// finishes the request (immediately, with kRejected, when the queue is
+  /// full). Requires start().
+  std::future<Response> submit(Request request);
+  /// Closes the queue, lets workers drain every admitted request, joins.
+  void drain();
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  ScheduleCache& cache() { return cache_; }
+  const ServerOptions& options() const { return options_; }
+  /// Concurrent request lanes (= slots_per_gpu).
+  int num_lanes() const { return options_.slots_per_gpu; }
+
+ private:
+  struct EngineOutcome {
+    bool ok = false;
+    bool watchdog = false;
+    bool recovered = false;
+    std::string error;
+    std::map<int, ops::Tensor> outputs;
+    sim::Timeline timeline;
+    runtime::RecoveryMetrics recovery;
+  };
+  struct OnlineItem {
+    Request request;
+    std::promise<Response> promise;
+  };
+
+  std::shared_ptr<const CachedPlan> resolve_plan(const std::string& model_name);
+  EngineOutcome execute_plan(const ops::Model& model, const CachedPlan& plan);
+  void online_worker();
+
+  ServerOptions options_;
+  sched::SchedulerConfig config_;  ///< options_.config with num_gpus applied
+  ScheduleCache cache_;
+  Metrics metrics_;
+  std::map<std::string, ops::Model> models_;
+  mutable std::mutex models_mu_;
+
+  std::unique_ptr<BoundedQueue<OnlineItem>> online_queue_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace hios::serve

@@ -6,6 +6,22 @@
 
 namespace hios::sim {
 
+Timeline Timeline::shifted(double offset_ms) const {
+  Timeline out = *this;
+  out.latency_ms += offset_ms;
+  for (TimelineEvent& e : out.events) {
+    e.start_ms += offset_ms;
+    e.finish_ms += offset_ms;
+  }
+  return out;
+}
+
+void Timeline::merge(const Timeline& other) {
+  num_gpus = std::max(num_gpus, other.num_gpus);
+  latency_ms = std::max(latency_ms, other.latency_ms);
+  events.insert(events.end(), other.events.begin(), other.events.end());
+}
+
 Json Timeline::to_chrome_trace() const {
   Json events_json = Json::array();
   for (const TimelineEvent& e : events) {

@@ -29,6 +29,15 @@ struct Timeline {
   int num_gpus = 0;
   std::vector<TimelineEvent> events;
 
+  /// Copy with every event (and the latency) offset by `offset_ms`. The
+  /// serving layer uses this to place per-request engine timelines at their
+  /// virtual dispatch time inside one serving-wide timeline.
+  Timeline shifted(double offset_ms) const;
+
+  /// Appends another timeline's events (already in this timeline's time
+  /// base); extends latency_ms and num_gpus to cover both.
+  void merge(const Timeline& other);
+
   /// Chrome tracing format (load in chrome://tracing or Perfetto).
   Json to_chrome_trace() const;
 

@@ -50,6 +50,31 @@ inline double percentile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+/// Tail-latency summary of a latency sample (serving metrics, benches).
+struct QuantileSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarises a sample; zeroes when empty (serving metrics may be empty).
+inline QuantileSummary summarize_quantiles(const std::vector<double>& xs) {
+  QuantileSummary q;
+  if (xs.empty()) return q;
+  q.count = xs.size();
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  q.mean = sum / static_cast<double>(xs.size());
+  q.p50 = percentile(xs, 0.50);
+  q.p95 = percentile(xs, 0.95);
+  q.p99 = percentile(xs, 0.99);
+  q.max = *std::max_element(xs.begin(), xs.end());
+  return q;
+}
+
 /// Geometric mean; all inputs must be positive.
 inline double geomean(const std::vector<double>& xs) {
   HIOS_CHECK(!xs.empty(), "geomean of empty sample");

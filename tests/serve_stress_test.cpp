@@ -1,0 +1,177 @@
+// Stress/soak: 64 concurrent requests x mixed models under an injected
+// fault plan. Pins the serving layer's liveness contract:
+//   * the run terminates (no hang) without the engine watchdog ever firing,
+//   * no response is lost or duplicated (every submitted id resolves once),
+//   * metrics conserve: submitted = admitted + rejected and
+//     admitted = completed + dropped + failed.
+// Runs under TSan in CI (label: stress), where the bounded queue, the lane
+// workers, and the engine's channel protocol all race for real.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "models/examples.h"
+#include "models/squeezenet.h"
+#include "runtime/engine.h"
+#include "serve/server.h"
+
+namespace hios::serve {
+namespace {
+
+ops::Model branchy_model() {
+  using namespace ops;
+  Model m("branchy");
+  const OpId in = m.add_input("x", TensorShape{1, 4, 8, 8});
+  const OpId c1 = m.add_op(Op(OpKind::kConv2d, "c1", Conv2dAttr{4, 3, 3, 1, 1, 1, 1, 1}), {in});
+  const OpId c2 = m.add_op(Op(OpKind::kConv2d, "c2", Conv2dAttr{4, 3, 3, 1, 1, 1, 1, 1}), {in});
+  const OpId p1 = m.add_op(Op(OpKind::kPool2d, "p1", Pool2dAttr{PoolMode::kMax, 2, 2, 2, 2, 0, 0}), {c1});
+  const OpId p2 = m.add_op(Op(OpKind::kPool2d, "p2", Pool2dAttr{PoolMode::kAvg, 2, 2, 2, 2, 0, 0}), {c2});
+  const OpId cat = m.add_op(Op(OpKind::kConcat, "cat"), {p1, p2});
+  m.add_op(Op(OpKind::kGlobalPool, "gp"), {cat});
+  return m;
+}
+
+ops::Model small_squeezenet() {
+  models::SqueezenetOptions opt;
+  opt.image_hw = 48;
+  opt.channel_scale = 4;
+  return models::make_squeezenet(opt);
+}
+
+void expect_no_losses(const std::vector<std::future<Response>>& resolved,
+                      Server& server, int submitted) {
+  // conservation holds after drain
+  const Metrics::Snapshot s = server.metrics().snapshot();
+  EXPECT_TRUE(s.conserved()) << "submitted=" << s.submitted
+                             << " admitted=" << s.admitted
+                             << " rejected=" << s.rejected
+                             << " completed=" << s.completed
+                             << " dropped=" << s.dropped << " failed=" << s.failed;
+  EXPECT_EQ(s.submitted, submitted);
+  EXPECT_EQ(s.watchdog_fires, 0) << "engine watchdog fired: runtime wedged";
+  (void)resolved;
+}
+
+TEST(ServeStress, SoakMixedModelsUnderFaults) {
+  // Seeded fault script: GPU 1 fail-stops mid-flight plus a transient link
+  // outage; every request sees the same script in its own virtual time and
+  // must be transparently failover-recovered.
+  fault::FaultPlan::RandomParams fp;
+  fp.num_gpus = 2;
+  fp.horizon_ms = 0.5;
+  fp.num_fail_stops = 1;
+  fp.num_link_faults = 1;
+  const fault::FaultPlan plan = fault::FaultPlan::random(fp, 42);
+
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 4;
+  opt.queue_capacity = 64;
+  opt.faults = &plan;
+  opt.failover = true;
+  // Generous real-time watchdog: it must never fire, even on loaded CI.
+  opt.watchdog_ms = 120000.0;
+  Server server(opt);
+  server.register_model("branchy", branchy_model());
+  server.register_model("squeezenet", small_squeezenet());
+  server.start();
+
+  constexpr int kRequests = 64;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    futures.push_back(
+        server.submit({i, i % 3 == 0 ? "squeezenet" : "branchy", 0.0, kNoDeadline}));
+  }
+  server.drain();
+
+  std::set<RequestId> ids;
+  int completed = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "a future never resolved: request lost";
+    const Response r = f.get();
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate response id " << r.id;
+    if (r.verdict == Verdict::kCompleted) {
+      ++completed;
+      EXPECT_FALSE(r.outputs.empty());
+    } else {
+      // Under a fail-stop plan a request may legitimately be rejected (full
+      // queue) but must never hang or vanish.
+      EXPECT_TRUE(r.verdict == Verdict::kRejected || r.verdict == Verdict::kFailed)
+          << verdict_name(r.verdict) << ": " << r.error;
+    }
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kRequests));
+  EXPECT_GT(completed, 0);
+  expect_no_losses(futures, server, kRequests);
+}
+
+TEST(ServeStress, SaturatedQueueShedsButConserves) {
+  // Tiny queue + many submitters: most requests bounce at admission, but
+  // conservation and exactly-once resolution still hold.
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 2;
+  opt.queue_capacity = 4;
+  Server server(opt);
+  server.register_model("branchy", branchy_model());
+  server.start();
+
+  constexpr int kThreads = 8, kPerThread = 8;
+  std::vector<std::future<Response>> futures(kThreads * kPerThread);
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int id = t * kPerThread + i;
+        futures[static_cast<std::size_t>(id)] =
+            server.submit({id, "branchy", 0.0, kNoDeadline});
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  server.drain();
+
+  std::set<RequestId> ids;
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.valid());
+    const Response r = f.get();
+    EXPECT_TRUE(ids.insert(r.id).second);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  expect_no_losses(futures, server, kThreads * kPerThread);
+  EXPECT_LE(server.metrics().snapshot().queue_high_watermark, opt.queue_capacity);
+}
+
+TEST(ServeStress, TraceModeUnderFaultsTerminates) {
+  // Deterministic path under the same fault plan: worker pool + engine
+  // channels under TSan, virtual-time verdicts.
+  fault::FaultPlan::RandomParams fp;
+  fp.num_gpus = 2;
+  fp.horizon_ms = 0.3;
+  fp.num_fail_stops = 1;
+  const fault::FaultPlan plan = fault::FaultPlan::random(fp, 7);
+
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 4;
+  opt.faults = &plan;
+  Server server(opt);
+  server.register_model("branchy", branchy_model());
+  TraceParams params;
+  params.models = {"branchy"};
+  params.num_requests = 32;
+  params.mean_interarrival_ms = 0.05;
+  const ServeReport report = server.run_trace(Trace::random(params, 99));
+  EXPECT_EQ(report.responses.size(), 32u);
+  const Metrics::Snapshot s = server.metrics().snapshot();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.watchdog_fires, 0);
+  EXPECT_GT(s.completed, 0);
+}
+
+}  // namespace
+}  // namespace hios::serve

@@ -1,0 +1,250 @@
+// Unit tests of the serving building blocks: bounded queue, contention
+// scale, schedule cache, metrics conservation, and virtual-time admission.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cost/cost_model.h"
+#include "models/examples.h"
+#include "serve/metrics.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+
+namespace hios::serve {
+namespace {
+
+ops::Model tiny_model(const std::string& name = "tiny") {
+  using namespace ops;
+  Model m(name);
+  const OpId in = m.add_input("x", TensorShape{1, 4, 8, 8});
+  const OpId c1 = m.add_op(Op(OpKind::kConv2d, "c1", Conv2dAttr{4, 3, 3, 1, 1, 1, 1, 1}), {in});
+  const OpId c2 = m.add_op(Op(OpKind::kConv2d, "c2", Conv2dAttr{4, 3, 3, 1, 1, 1, 1, 1}), {in});
+  m.add_op(Op(OpKind::kConcat, "cat"), {c1, c2});
+  return m;
+}
+
+TEST(BoundedQueue, RejectsWhenFullAndDrainsWhenClosed) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.high_watermark(), 2u);
+  q.close();
+  EXPECT_FALSE(q.try_push(4));  // closed
+  EXPECT_EQ(q.pop(), 1);        // closed queues still drain
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, FailedTryPushLeavesValueIntact) {
+  BoundedQueue<std::string> q(1);
+  std::string a = "first", b = "second";
+  EXPECT_TRUE(q.try_push(std::move(a)));
+  EXPECT_FALSE(q.try_push(std::move(b)));
+  EXPECT_EQ(b, "second");  // rejected value still usable by the caller
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForSpace) {
+  BoundedQueue<int> q(1);
+  EXPECT_TRUE(q.try_push(1));
+  std::thread t([&] { EXPECT_TRUE(q.push(2)); });
+  EXPECT_EQ(q.pop(), 1);  // frees the slot the pusher is waiting on
+  t.join();
+  EXPECT_EQ(q.pop(), 2);
+}
+
+TEST(ContentionScale, MatchesMalleableTaskFormula) {
+  const double kappa = 0.12;
+  // Under saturation (k*r <= 1) concurrent requests are free.
+  EXPECT_DOUBLE_EQ(stream_contention_scale(1, 0.2, kappa), 1.0);
+  EXPECT_DOUBLE_EQ(stream_contention_scale(4, 0.2, kappa), 1.0);
+  // Beyond saturation: k*r work through a unit-speed GPU + kappa penalty.
+  const double expected6 = 6 * 0.2 * (1.0 + kappa * (6 * 0.2 - 1.0));
+  EXPECT_DOUBLE_EQ(stream_contention_scale(6, 0.2, kappa), expected6);
+  // Monotone in concurrency.
+  EXPECT_LE(stream_contention_scale(5, 0.2, kappa),
+            stream_contention_scale(6, 0.2, kappa));
+}
+
+TEST(ScheduleCache, SecondLookupIsAHit) {
+  ScheduleCache cache(cost::make_a40_server(2));
+  const ops::Model m = tiny_model();
+  sched::SchedulerConfig config;
+  config.num_gpus = 2;
+  bool hit = true;
+  auto cold = cache.get(m, "hios-lp", config, &hit);
+  EXPECT_FALSE(hit);
+  auto warm = cache.get(m, "hios-lp", config, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cold.get(), warm.get());  // same immutable plan
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_GT(cold->latency_ms, 0.0);
+}
+
+TEST(ScheduleCache, KeyDistinguishesConfigAndStructure) {
+  ScheduleCache cache(cost::make_a40_server(4));
+  const ops::Model m = tiny_model();
+  sched::SchedulerConfig two, four;
+  two.num_gpus = 2;
+  four.num_gpus = 4;
+  cache.get(m, "hios-lp", two);
+  cache.get(m, "hios-lp", four);       // different nGPU -> new entry
+  cache.get(m, "hios-mr", two);        // different algorithm -> new entry
+  const ops::Model renamed = tiny_model("other");  // same structure, new name
+  bool hit = false;
+  cache.get(renamed, "hios-lp", two, &hit);
+  EXPECT_TRUE(hit);                    // fingerprint ignores the name
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(Metrics, ConservationAndJson) {
+  Metrics m;
+  m.set_queue_capacity(8);
+  for (int i = 0; i < 5; ++i) m.on_submitted();
+  m.on_rejected();
+  for (int i = 0; i < 4; ++i) m.on_admitted(1);
+  m.on_completed(10.0, 1.0);
+  m.on_completed(20.0, 2.0);
+  m.on_dropped();
+  m.on_failed(/*watchdog_fired=*/true);
+  m.set_makespan(100.0);
+  const Metrics::Snapshot s = m.snapshot();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.completed, 2);
+  EXPECT_EQ(s.watchdog_fires, 1);
+  EXPECT_DOUBLE_EQ(s.latency.mean, 15.0);
+  EXPECT_DOUBLE_EQ(s.throughput_rps(), 2 / 0.1);
+  const std::string dump = m.to_json().dump();
+  EXPECT_NE(dump.find("\"completed\":2"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"watchdog_fires\":1"), std::string::npos) << dump;
+
+  Metrics unbalanced;
+  unbalanced.on_submitted();
+  EXPECT_FALSE(unbalanced.snapshot().conserved());
+}
+
+ServerOptions sim_options(int num_gpus, int slots) {
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(num_gpus);
+  opt.slots_per_gpu = slots;
+  opt.use_engine = false;  // virtual-time only: admission-logic tests
+  return opt;
+}
+
+TEST(Server, SaturationTraceKeepsLanesBusy) {
+  Server server(sim_options(2, 2));
+  server.register_model("tiny", tiny_model());
+  TraceParams params;
+  params.models = {"tiny"};
+  params.num_requests = 8;  // all arrive at t = 0
+  const ServeReport report = server.run_trace(Trace::random(params, 7));
+  ASSERT_EQ(report.responses.size(), 8u);
+  const double base = report.responses[0].base_ms;
+  ASSERT_GT(base, 0.0);
+  for (const Response& r : report.responses) {
+    EXPECT_EQ(r.verdict, Verdict::kCompleted);
+    EXPECT_DOUBLE_EQ(r.base_ms, base);
+    EXPECT_DOUBLE_EQ(r.contention_scale, 1.0);  // 2 slots * 0.2 demand < 1
+  }
+  // Two lanes, eight equal requests arriving together: 4 rounds.
+  EXPECT_DOUBLE_EQ(report.makespan_ms, 4 * base);
+  EXPECT_DOUBLE_EQ(report.throughput_rps, 8 / (4 * base / 1000.0));
+}
+
+TEST(Server, FullQueueRejectsAndDeadlinesDrop) {
+  ServerOptions opt = sim_options(2, 1);
+  opt.queue_capacity = 2;
+  Server server(opt);
+  server.register_model("tiny", tiny_model());
+  Trace trace;
+  // 5 requests at t = 0 on one lane with capacity 2: the first dispatches
+  // immediately, two queue, two bounce.
+  for (int i = 0; i < 5; ++i) trace.requests.push_back({i, "tiny", 0.0, kNoDeadline});
+  // A late request with an impossible deadline is admitted then dropped.
+  trace.requests.push_back({5, "tiny", 1000.0, 1000.0});
+  const ServeReport report = server.run_trace(trace);
+  int completed = 0, rejected = 0, dropped = 0;
+  for (const Response& r : report.responses) {
+    completed += r.verdict == Verdict::kCompleted;
+    rejected += r.verdict == Verdict::kRejected;
+    dropped += r.verdict == Verdict::kDropped;
+  }
+  EXPECT_EQ(completed, 3);
+  EXPECT_EQ(rejected, 2);
+  EXPECT_EQ(dropped, 1);
+  const Metrics::Snapshot s = server.metrics().snapshot();
+  EXPECT_TRUE(s.conserved());
+  EXPECT_EQ(s.queue_high_watermark, 2u);
+}
+
+TEST(Server, ContentionSlowsOverloadedLanes) {
+  // 8 slots on one GPU, demand 0.2: 8 overlapping requests need 1.6 GPUs
+  // of work, so overlapped requests must run slower than solo ones.
+  ServerOptions opt = sim_options(1, 8);
+  Server server(opt);
+  server.register_model("tiny", tiny_model());
+  TraceParams params;
+  params.models = {"tiny"};
+  params.num_requests = 8;
+  const ServeReport report = server.run_trace(Trace::random(params, 3));
+  double max_scale = 0.0;
+  for (const Response& r : report.responses) {
+    EXPECT_EQ(r.verdict, Verdict::kCompleted);
+    max_scale = std::max(max_scale, r.contention_scale);
+  }
+  const double kappa = opt.platform.gpu.contention_kappa;
+  EXPECT_DOUBLE_EQ(max_scale, stream_contention_scale(8, 0.2, kappa));
+  EXPECT_GT(max_scale, 1.0);
+}
+
+TEST(Server, EngineModeProducesTensorsAndTimeline) {
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 2;
+  Server server(opt);  // use_engine = true
+  server.register_model("tiny", tiny_model());
+  TraceParams params;
+  params.models = {"tiny"};
+  params.num_requests = 4;
+  const ServeReport report = server.run_trace(Trace::random(params, 11));
+  for (const Response& r : report.responses) {
+    ASSERT_EQ(r.verdict, Verdict::kCompleted);
+    EXPECT_FALSE(r.outputs.empty());  // real tensors came back
+  }
+  EXPECT_FALSE(report.timeline.events.empty());
+  EXPECT_GE(report.timeline.latency_ms, report.makespan_ms - 1e-9);
+}
+
+TEST(Server, OnlineSubmitFulfilsFutures) {
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 2;
+  Server server(opt);
+  server.register_model("tiny", tiny_model());
+  server.start();
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(server.submit({i, "tiny", 0.0, kNoDeadline}));
+  server.drain();
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.verdict, Verdict::kCompleted);
+    EXPECT_FALSE(r.outputs.empty());
+  }
+  EXPECT_TRUE(server.metrics().snapshot().conserved());
+}
+
+TEST(Server, UnknownModelFailsTheRequestNotTheServer) {
+  Server server(sim_options(2, 1));
+  server.register_model("tiny", tiny_model());
+  server.start();
+  auto f = server.submit({0, "nope", 0.0, kNoDeadline});
+  server.drain();
+  const Response r = f.get();
+  EXPECT_EQ(r.verdict, Verdict::kFailed);
+  EXPECT_NE(r.error.find("unknown model"), std::string::npos);
+  EXPECT_TRUE(server.metrics().snapshot().conserved());
+}
+
+}  // namespace
+}  // namespace hios::serve
