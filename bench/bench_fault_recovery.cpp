@@ -9,6 +9,13 @@
 // actually disturbed the run, the virtual time to detect the first fatal
 // fault, the wall-clock cost of rescheduling, and the degraded makespan
 // relative to the fault-free baseline.
+//
+//   --smoke            reduced deterministic sweep (smaller model, 2 instances)
+//   --golden-write P   write the virtual-time golden baseline to P
+//   --golden-check P   bit-compare against P (tests/golden/fault_recovery.json)
+//
+// The golden CSV carries only virtual-time columns (detect/degraded/slowdown);
+// the rescheduling wall clock is printed but never baselined.
 #include "bench_common.h"
 
 using namespace hios;
@@ -22,14 +29,19 @@ struct Scenario {
 
 }  // namespace
 
-int main() {
-  const int instances = bench::instances_per_point();
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_bench_args(
+      argc, argv, "robustness: random fault plans vs a 4-GPU HIOS-MR Inception schedule");
+  if (args.help) return 0;
+  const int instances = args.instances();
   bench::print_header("Robustness: failover recovery",
                       "random fault plans vs a 4-GPU HIOS-MR Inception schedule");
 
   models::InceptionV3Options mopt;
-  mopt.image_hw = 96;
-  mopt.channel_scale = 16;
+  // Smoke/golden: a thinner model keeps the CI sweep sub-second while still
+  // spreading stages across all four GPUs (Inception needs image_hw >= 75).
+  mopt.image_hw = args.smoke ? 80 : 96;
+  mopt.channel_scale = args.smoke ? 8 : 16;
   const ops::Model model = models::make_inception_v3(mopt);
   const int gpus = 4;
   const cost::ProfiledModel pm = cost::profile_model(model, cost::make_a40_server(gpus));
@@ -63,6 +75,11 @@ int main() {
   TextTable table;
   table.set_header({"scenario", "disturbed%", "rescheduled%", "detect_ms", "resched_wall_ms",
                     "degraded_ms", "slowdown_x"});
+  // Golden twin of `table` without the wall-clock column: bit-stable across
+  // reruns, optimization levels, and sanitizers.
+  TextTable golden;
+  golden.set_header(
+      {"scenario", "disturbed%", "rescheduled%", "detect_ms", "degraded_ms", "slowdown_x"});
   for (const Scenario& scenario : scenarios) {
     RunningStats detect, resched, degraded, slowdown;
     int disturbed = 0, recovered_via_resched = 0;
@@ -85,17 +102,24 @@ int main() {
       resched.add(run.metrics.reschedule_wall_ms);
       degraded.add(run.metrics.degraded_makespan_ms);
     }
-    table.add_row({scenario.label, TextTable::num(100.0 * disturbed / instances, 0),
-                   TextTable::num(100.0 * recovered_via_resched / instances, 0),
-                   bench::mean_std(detect, 3), bench::mean_std(resched, 2),
-                   bench::mean_std(degraded, 3), bench::mean_std(slowdown, 2)});
+    const std::string disturbed_pct = TextTable::num(100.0 * disturbed / instances, 0);
+    const std::string resched_pct =
+        TextTable::num(100.0 * recovered_via_resched / instances, 0);
+    const std::string detect_col = bench::mean_std(detect, 3);
+    const std::string degraded_col = bench::mean_std(degraded, 3);
+    const std::string slowdown_col = bench::mean_std(slowdown, 2);
+    table.add_row({scenario.label, disturbed_pct, resched_pct, detect_col,
+                   bench::mean_std(resched, 2), degraded_col, slowdown_col});
+    golden.add_row({scenario.label, disturbed_pct, resched_pct, detect_col, degraded_col,
+                    slowdown_col});
     std::fflush(stdout);
   }
   bench::print_table(table, "fault_recovery");
+  args.golden["fault_recovery"] = golden.to_csv();
   bench::print_expectation(
       "every disturbed run recovers with bit-exact outputs; degraded makespan grows "
       "with the number of failed GPUs (less residual parallelism plus recomputation "
       "of tensors lost with the dead GPUs), while rescheduling itself stays in the "
       "millisecond range — failover is dominated by re-execution, not by planning.");
-  return 0;
+  return bench::finish_bench(args);
 }

@@ -28,13 +28,38 @@ Json retry_to_json(const RetryPolicy& r) {
   return j;
 }
 
+/// Rejects unknown keys: a typoed field ("at_m" for "at_ms") silently
+/// falling back to a default is exactly how a fault script stops injecting
+/// faults without anyone noticing.
+void check_keys(const Json& j, const char* context,
+                std::initializer_list<const char*> allowed) {
+  for (const auto& [key, value] : j.as_object()) {
+    const bool known =
+        std::any_of(allowed.begin(), allowed.end(),
+                    [&key](const char* a) { return key == a; });
+    HIOS_CHECK(known, "fault plan: unknown key '" << key << "' in " << context);
+  }
+}
+
 RetryPolicy retry_from_json(const Json& j) {
+  check_keys(j, "retry",
+             {"max_attempts", "initial_backoff_ms", "backoff_multiplier",
+              "max_backoff_ms"});
   RetryPolicy r;
   r.max_attempts = static_cast<int>(j.at("max_attempts").as_int());
   r.initial_backoff_ms = j.at("initial_backoff_ms").as_number();
   r.backoff_multiplier = j.at("backoff_multiplier").as_number();
   r.max_backoff_ms = j.at("max_backoff_ms").as_number();
   HIOS_CHECK(r.max_attempts >= 1, "retry policy needs at least one attempt");
+  HIOS_CHECK(r.initial_backoff_ms >= 0.0,
+             "fault plan: retry.initial_backoff_ms must be >= 0 (got "
+                 << r.initial_backoff_ms << ")");
+  HIOS_CHECK(r.backoff_multiplier >= 1.0,
+             "fault plan: retry.backoff_multiplier must be >= 1 (got "
+                 << r.backoff_multiplier << ")");
+  HIOS_CHECK(r.max_backoff_ms >= 0.0,
+             "fault plan: retry.max_backoff_ms must be >= 0 (got " << r.max_backoff_ms
+                                                                   << ")");
   return r;
 }
 
@@ -136,25 +161,57 @@ Json FaultPlan::to_json() const {
 }
 
 FaultPlan FaultPlan::from_json(const Json& json) {
+  check_keys(json, "plan",
+             {"seed", "retry", "fail_stops", "stragglers", "link_faults"});
+  // Every section is optional: a hand-written chaos script can name just
+  // the events it injects (missing sections keep their defaults).
   FaultPlan plan;
-  plan.seed = static_cast<uint64_t>(json.at("seed").as_int());
-  plan.retry = retry_from_json(json.at("retry"));
-  for (const Json& e : json.at("fail_stops").as_array()) {
+  if (json.contains("seed"))
+    plan.seed = static_cast<uint64_t>(json.at("seed").as_int());
+  if (json.contains("retry")) plan.retry = retry_from_json(json.at("retry"));
+  const Json empty = Json::array();
+  auto section = [&](const char* key) -> const Json& {
+    return json.contains(key) ? json.at(key) : empty;
+  };
+  std::size_t i = 0;
+  for (const Json& e : section("fail_stops").as_array()) {
+    check_keys(e, "fail_stops", {"gpu", "at_ms"});
     FailStop f;
     f.gpu = static_cast<int>(e.at("gpu").as_int());
     f.at_ms = e.at("at_ms").as_number();
-    HIOS_CHECK(f.gpu >= 0 && f.at_ms >= 0.0, "bad fail-stop event");
+    HIOS_CHECK(f.gpu >= 0,
+               "fault plan: fail_stops[" << i << "].gpu must be >= 0 (got " << f.gpu
+                                         << ")");
+    HIOS_CHECK(f.at_ms >= 0.0, "fault plan: fail_stops[" << i
+                                                         << "].at_ms must be >= 0 (got "
+                                                         << f.at_ms << ")");
     plan.fail_stops.push_back(f);
+    ++i;
   }
-  for (const Json& e : json.at("stragglers").as_array()) {
+  i = 0;
+  for (const Json& e : section("stragglers").as_array()) {
+    check_keys(e, "stragglers", {"gpu", "from_ms", "slowdown"});
     Straggler s;
     s.gpu = static_cast<int>(e.at("gpu").as_int());
     s.from_ms = e.at("from_ms").as_number();
     s.slowdown = e.at("slowdown").as_number();
-    HIOS_CHECK(s.gpu >= 0 && s.slowdown >= 1.0, "bad straggler event");
+    HIOS_CHECK(s.gpu >= 0,
+               "fault plan: stragglers[" << i << "].gpu must be >= 0 (got " << s.gpu
+                                         << ")");
+    HIOS_CHECK(s.from_ms >= 0.0, "fault plan: stragglers["
+                                     << i << "].from_ms must be >= 0 (got " << s.from_ms
+                                     << ")");
+    HIOS_CHECK(s.slowdown >= 1.0, "fault plan: stragglers["
+                                      << i << "].slowdown must be >= 1 (got "
+                                      << s.slowdown << ")");
     plan.stragglers.push_back(s);
+    ++i;
   }
-  for (const Json& e : json.at("link_faults").as_array()) {
+  i = 0;
+  for (const Json& e : section("link_faults").as_array()) {
+    check_keys(e, "link_faults",
+               {"gpu_a", "gpu_b", "from_ms", "to_ms", "down", "bw_scale",
+                "extra_latency_ms"});
     LinkFault f;
     f.gpu_a = static_cast<int>(e.at("gpu_a").as_int());
     f.gpu_b = static_cast<int>(e.at("gpu_b").as_int());
@@ -163,9 +220,23 @@ FaultPlan FaultPlan::from_json(const Json& json) {
     f.down = e.at("down").as_bool();
     f.bw_scale = e.at("bw_scale").as_number();
     f.extra_latency_ms = e.at("extra_latency_ms").as_number();
-    HIOS_CHECK(f.gpu_a != f.gpu_b && f.from_ms <= f.to_ms && f.bw_scale > 0.0,
-               "bad link fault event");
+    HIOS_CHECK(f.gpu_a >= 0 && f.gpu_b >= 0,
+               "fault plan: link_faults[" << i << "] endpoints must be >= 0");
+    HIOS_CHECK(f.gpu_a != f.gpu_b,
+               "fault plan: link_faults[" << i << "] endpoints must differ");
+    HIOS_CHECK(f.from_ms >= 0.0, "fault plan: link_faults["
+                                     << i << "].from_ms must be >= 0 (got " << f.from_ms
+                                     << ")");
+    HIOS_CHECK(f.from_ms <= f.to_ms,
+               "fault plan: link_faults[" << i << "].to_ms must be >= from_ms");
+    HIOS_CHECK(f.bw_scale > 0.0, "fault plan: link_faults["
+                                     << i << "].bw_scale must be > 0 (got " << f.bw_scale
+                                     << ")");
+    HIOS_CHECK(f.extra_latency_ms >= 0.0,
+               "fault plan: link_faults[" << i << "].extra_latency_ms must be >= 0 (got "
+                                          << f.extra_latency_ms << ")");
     plan.link_faults.push_back(f);
+    ++i;
   }
   return plan;
 }

@@ -14,6 +14,11 @@ void Metrics::on_rejected() {
   ++s_.rejected;
 }
 
+void Metrics::on_breaker_rejected() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.breaker_rejected;
+}
+
 void Metrics::on_admitted(std::size_t queue_depth_after) {
   std::lock_guard<std::mutex> lock(mu_);
   ++s_.admitted;
@@ -36,6 +41,42 @@ void Metrics::on_failed(bool watchdog_fired) {
   std::lock_guard<std::mutex> lock(mu_);
   ++s_.failed;
   if (watchdog_fired) ++s_.watchdog_fires;
+}
+
+void Metrics::on_retried() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.retried;
+}
+
+void Metrics::on_hedged() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.hedged;
+}
+
+void Metrics::on_hedge_won() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.hedge_won;
+}
+
+void Metrics::on_pool_result(bool hit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hit ? ++s_.pool_hits : ++s_.pool_misses;
+}
+
+void Metrics::on_pool_prewarm(std::size_t cold_builds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  s_.pool_prewarm_builds += static_cast<int64_t>(cold_builds);
+}
+
+void Metrics::on_health_transition() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.health_transitions;
+}
+
+void Metrics::on_probe(bool success) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++s_.probes_sent;
+  if (success) ++s_.probes_succeeded;
 }
 
 void Metrics::on_failover(const runtime::RecoveryMetrics& recovery) {
@@ -72,8 +113,8 @@ double Metrics::Snapshot::throughput_rps() const {
 }
 
 bool Metrics::Snapshot::conserved() const {
-  return submitted == admitted + rejected &&
-         admitted == completed + dropped + failed;
+  return submitted == admitted + rejected + breaker_rejected &&
+         admitted == completed + dropped + failed && hedge_won <= hedged;
 }
 
 Metrics::Snapshot Metrics::snapshot() const {
@@ -95,6 +136,10 @@ Json Metrics::to_json() const {
   counters["completed"] = s.completed;
   counters["dropped"] = s.dropped;
   counters["failed"] = s.failed;
+  counters["breaker_rejected"] = s.breaker_rejected;
+  counters["retried"] = s.retried;
+  counters["hedged"] = s.hedged;
+  counters["hedge_won"] = s.hedge_won;
   counters["watchdog_fires"] = s.watchdog_fires;
   counters["failovers"] = s.failovers;
   counters["recovered"] = s.recovered;
@@ -104,6 +149,18 @@ Json Metrics::to_json() const {
   cache["hits"] = s.cache_hits;
   cache["misses"] = s.cache_misses;
   j["schedule_cache"] = std::move(cache);
+
+  Json pool = Json::object();
+  pool["hits"] = s.pool_hits;
+  pool["misses"] = s.pool_misses;
+  pool["prewarm_builds"] = s.pool_prewarm_builds;
+  j["plan_pool"] = std::move(pool);
+
+  Json health = Json::object();
+  health["transitions"] = s.health_transitions;
+  health["probes_sent"] = s.probes_sent;
+  health["probes_succeeded"] = s.probes_succeeded;
+  j["health"] = std::move(health);
 
   Json queue = Json::object();
   queue["capacity"] = s.queue_capacity;

@@ -1,9 +1,12 @@
 // Serving metrics: counters, tail-latency reservoirs, queue gauges.
 //
-// Every request ends in exactly one of four verdicts, giving the
+// Every request ends in exactly one of five verdicts, giving the
 // conservation invariants the stress suite pins:
-//   submitted = admitted + rejected
+//   submitted = admitted + rejected + breaker_rejected
 //   admitted  = completed + dropped + failed
+// Resilience events (retries, hedges, circuit-breaker sheds, health
+// transitions — DESIGN.md §6f) are counted alongside, with hedge_won
+// <= hedged as an additional invariant.
 // Latency/queue-wait reservoirs hold *virtual-time* samples only, so a
 // metrics snapshot is a pure function of the request trace and the cost
 // model — identical across reruns and thread interleavings (the
@@ -31,12 +34,27 @@ class Metrics {
   // --- admission ------------------------------------------------------
   void on_submitted();
   void on_rejected();
+  /// Shed by the per-GPU circuit breaker: the survivor plan cannot meet
+  /// the request's deadline, so it is bounced without queueing.
+  void on_breaker_rejected();
   void on_admitted(std::size_t queue_depth_after);
 
   // --- terminal verdicts (admitted requests only) ---------------------
   void on_completed(double latency_ms, double queue_ms);
   void on_dropped();
   void on_failed(bool watchdog_fired);
+
+  // --- degraded-mode resilience (DESIGN.md §6f) -----------------------
+  /// One re-dispatch of an admitted request after its attempt failed.
+  void on_retried();
+  /// A hedged second dispatch was issued for a slow request.
+  void on_hedged();
+  /// The hedge finished before the primary.
+  void on_hedge_won();
+  void on_pool_result(bool hit);
+  void on_pool_prewarm(std::size_t cold_builds);
+  void on_health_transition();
+  void on_probe(bool success);
 
   // --- execution-path detail ------------------------------------------
   void on_failover(const runtime::RecoveryMetrics& recovery);
@@ -50,6 +68,11 @@ class Metrics {
   struct Snapshot {
     int64_t submitted = 0, admitted = 0, rejected = 0;
     int64_t completed = 0, dropped = 0, failed = 0;
+    int64_t breaker_rejected = 0;
+    int64_t retried = 0, hedged = 0, hedge_won = 0;
+    int64_t pool_hits = 0, pool_misses = 0, pool_prewarm_builds = 0;
+    int64_t health_transitions = 0;
+    int64_t probes_sent = 0, probes_succeeded = 0;
     int64_t watchdog_fires = 0;
     int64_t failovers = 0, recovered = 0;
     double reschedule_wall_ms = 0.0;  ///< total failover re-scheduling wall clock
@@ -61,8 +84,9 @@ class Metrics {
 
     /// Completed requests per virtual second (0 when makespan unset).
     double throughput_rps() const;
-    /// submitted = admitted + rejected and admitted = completed + dropped
-    /// + failed — false only on a live server mid-flight or a lost request.
+    /// submitted = admitted + rejected + breaker_rejected, admitted =
+    /// completed + dropped + failed, and hedge_won <= hedged — false only
+    /// on a live server mid-flight or a lost request.
     bool conserved() const;
   };
 

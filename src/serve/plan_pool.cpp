@@ -1,0 +1,61 @@
+#include "serve/plan_pool.h"
+
+namespace hios::serve {
+
+std::shared_ptr<const CachedPlan> PlanPool::plan_for(const ops::Model& model,
+                                                     uint32_t mask,
+                                                     uint64_t generation,
+                                                     bool* was_hit) {
+  bool hit = false;
+  auto plan = cache_.get(model, algorithm_, config_,
+                         TopologyVersion{mask, generation}, &hit);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (hit) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+  }
+  if (was_hit != nullptr) *was_hit = hit;
+  return plan;
+}
+
+std::size_t PlanPool::prewarm(const ops::Model& model, uint32_t mask,
+                              uint64_t generation) {
+  const int width = config_.num_gpus;
+  const uint32_t width_mask =
+      width >= 32 ? 0xFFFFFFFFu : (1u << static_cast<unsigned>(width)) - 1u;
+  const uint32_t current = mask & width_mask;
+  std::size_t builds = 0;
+  auto warm = [&](uint32_t m) {
+    if ((m & width_mask) == 0) return;  // no survivor: nothing to plan
+    bool hit = false;
+    cache_.get(model, algorithm_, config_, TopologyVersion{m, generation}, &hit);
+    if (!hit) ++builds;
+  };
+  warm(current);
+  for (int g = 0; g < width; ++g) {
+    if (current & (1u << g)) warm(current & ~(1u << g));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  prewarm_builds_ += builds;
+  return builds;
+}
+
+std::size_t PlanPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::size_t PlanPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t PlanPool::prewarm_builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return prewarm_builds_;
+}
+
+}  // namespace hios::serve

@@ -1,0 +1,69 @@
+// Survivor-topology plan pool (DESIGN.md §6f).
+//
+// The ScheduleCache answers "plan for this (model, topology) key"; the
+// PlanPool layers serving policy on top of it: which topology should be
+// planned for *now*, and which should be planned for *next*. Its two jobs:
+//
+//   * plan_for(model, mask, generation): the plan for the current survivor
+//     set — a warm hash lookup whenever the pool (or an earlier request)
+//     already built it.
+//   * prewarm(model, mask, generation): build the plan for the current
+//     survivor set plus every likely next-degraded set — each
+//     single-GPU-down subset of the survivors — so when a GPU actually
+//     fails, the failover plan is already warm and no request pays a cold
+//     residual reschedule.
+//
+// Invalidation follows the cache-key rules: GPU membership is named by the
+// mask itself, link state by the generation (HealthTracker's
+// topology_epoch). A health transition that removes a GPU therefore does
+// not discard the prewarmed plans — the new current mask *is* one of the
+// prewarmed keys; a link transition bumps the generation, and the pool
+// repopulates from scratch on the next prewarm.
+//
+// Thread-safe: counters under a mutex, plan builds delegated to the
+// (locking) ScheduleCache.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "ops/model.h"
+#include "sched/scheduler.h"
+#include "serve/schedule_cache.h"
+
+namespace hios::serve {
+
+/// Plan-pool policy over a ScheduleCache (see file comment).
+class PlanPool {
+ public:
+  PlanPool(ScheduleCache& cache, std::string algorithm, sched::SchedulerConfig config)
+      : cache_(cache), algorithm_(std::move(algorithm)), config_(std::move(config)) {}
+
+  /// The plan for the survivor set `mask` under link generation
+  /// `generation`; builds cold iff nothing warmed it first.
+  std::shared_ptr<const CachedPlan> plan_for(const ops::Model& model, uint32_t mask,
+                                             uint64_t generation,
+                                             bool* was_hit = nullptr);
+
+  /// Ensures warm plans for `mask` and every single-GPU-down subset of it
+  /// (skipping subsets with no survivor). Returns how many cold builds this
+  /// call performed (0 = everything was already warm).
+  std::size_t prewarm(const ops::Model& model, uint32_t mask, uint64_t generation);
+
+  std::size_t hits() const;
+  std::size_t misses() const;
+  /// Cold builds performed by prewarm() calls (as opposed to on-path).
+  std::size_t prewarm_builds() const;
+
+ private:
+  ScheduleCache& cache_;
+  std::string algorithm_;
+  sched::SchedulerConfig config_;
+  mutable std::mutex mu_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+  std::size_t prewarm_builds_ = 0;
+};
+
+}  // namespace hios::serve

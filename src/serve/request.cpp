@@ -13,6 +13,7 @@ const char* verdict_name(Verdict verdict) {
     case Verdict::kRejected: return "rejected";
     case Verdict::kDropped: return "dropped";
     case Verdict::kFailed: return "failed";
+    case Verdict::kBreakerRejected: return "breaker_rejected";
   }
   return "unknown";
 }

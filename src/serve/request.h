@@ -22,6 +22,10 @@ using RequestId = int64_t;
 
 inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
+/// Topology mask meaning "every GPU up" (normalised: plans for the full
+/// platform always use kFullMask regardless of num_gpus).
+inline constexpr uint32_t kFullMask = 0xFFFFFFFFu;
+
 /// One inference request against a registered model.
 struct Request {
   RequestId id = -1;
@@ -31,12 +35,14 @@ struct Request {
 };
 
 /// Terminal state of a request. Conservation invariant (see serve::Metrics):
-/// submitted = admitted + rejected and admitted = completed + dropped + failed.
+/// submitted = admitted + rejected + breaker_rejected and
+/// admitted = completed + dropped + failed.
 enum class Verdict {
   kCompleted,  ///< executed (and, under faults, possibly failover-recovered)
   kRejected,   ///< bounced at admission: the queue was full
   kDropped,    ///< admitted but the deadline was not met (trace mode: never executed)
   kFailed,     ///< execution failed (unrecoverable fault, engine error)
+  kBreakerRejected,  ///< shed at admission: no survivor plan can meet the deadline
 };
 
 const char* verdict_name(Verdict verdict);
@@ -54,6 +60,10 @@ struct Response {
   double base_ms = 0.0;       ///< single-request latency of the cached schedule
   double contention_scale = 1.0;  ///< stream-slot slowdown applied to base_ms
   bool recovered = false;     ///< a fault fired and failover completed the run
+  int attempts = 1;           ///< dispatch attempts (1 = no retry was needed)
+  bool hedged = false;        ///< a hedged second dispatch was issued
+  bool hedge_won = false;     ///< the hedge finished before the primary
+  uint32_t topo_mask = kFullMask;  ///< survivor mask the final plan targeted
   std::string error;          ///< failure detail (kFailed only)
   std::map<int, ops::Tensor> outputs;  ///< graph-sink tensors by op id (engine mode)
 };

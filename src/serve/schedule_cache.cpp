@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/error.h"
+
 namespace hios::serve {
 
 namespace {
@@ -10,13 +12,43 @@ double now_ms() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Platform GPU ids named by `mask` within [0, num_gpus), ascending.
+std::vector<int> survivor_gpus(uint32_t mask, int num_gpus) {
+  std::vector<int> out;
+  for (int g = 0; g < num_gpus; ++g) {
+    if (mask & (1u << g)) out.push_back(g);
+  }
+  return out;
+}
 }  // namespace
 
 std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
                                                      const std::string& algorithm,
                                                      const sched::SchedulerConfig& config,
                                                      bool* was_hit) {
-  const Key key{model.fingerprint(), config.num_gpus, config.window, algorithm};
+  return get(model, algorithm, config, TopologyVersion{}, was_hit);
+}
+
+std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
+                                                     const std::string& algorithm,
+                                                     const sched::SchedulerConfig& config,
+                                                     TopologyVersion topo,
+                                                     bool* was_hit) {
+  HIOS_CHECK(config.num_gpus >= 1 && config.num_gpus <= 32,
+             "ScheduleCache::get: config.num_gpus must be in [1, 32] (got "
+                 << config.num_gpus << ")");
+  const uint32_t width_mask = config.num_gpus >= 32
+                                  ? kFullMask
+                                  : (1u << config.num_gpus) - 1u;
+  uint32_t mask = topo.mask & width_mask;
+  HIOS_CHECK(mask != 0, "ScheduleCache::get: topology mask leaves no survivor GPU");
+  // Normalise: the full survivor set always keys as kFullMask, so the legacy
+  // overload and an explicit all-up mask share one entry.
+  if (mask == width_mask) mask = kFullMask;
+
+  const Key key{model.fingerprint(), config.num_gpus, config.window,
+                mask, topo.generation, algorithm};
   std::lock_guard<std::mutex> lock(mu_);
   if (auto it = map_.find(key); it != map_.end()) {
     ++hits_;
@@ -26,18 +58,41 @@ std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
   ++misses_;
   if (was_hit != nullptr) *was_hit = false;
   const double t0 = now_ms();
+
+  const std::vector<int> gpus =
+      mask == kFullMask ? survivor_gpus(width_mask, config.num_gpus)
+                        : survivor_gpus(mask, config.num_gpus);
+  const int n = static_cast<int>(gpus.size());
+
+  // Schedule on the survivor slice of the platform: n GPUs, and — when the
+  // platform carries a non-uniform interconnect — the survivor-restricted
+  // link table, so schedule device i means platform GPU gpus[i].
   cost::Platform platform = platform_;
-  platform.num_gpus = config.num_gpus;
+  platform.num_gpus = n;
+  if (!platform_.topology.empty()) {
+    cost::Topology restricted = cost::Topology::uniform(n);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        restricted.set(i, j, platform_.topology.between(gpus[i], gpus[j]));
+      }
+    }
+    platform.topology = std::move(restricted);
+  }
+  sched::SchedulerConfig survivor_config = config;
+  survivor_config.num_gpus = n;
+
   auto plan = std::make_shared<CachedPlan>();
   plan->profiled = cost::profile_model(model, platform);
   const sched::ScheduleResult result =
       sched::make_scheduler(algorithm)->schedule(plan->profiled.graph,
-                                                 *plan->profiled.cost, config);
+                                                 *plan->profiled.cost, survivor_config);
   plan->schedule = result.schedule;
   plan->latency_ms = result.latency_ms;
   plan->scheduling_ms = result.scheduling_ms;
   plan->build_ms = now_ms() - t0;
   plan->algorithm = algorithm;
+  plan->gpus = gpus;
+  plan->topo_mask = mask;
   build_ms_ += plan->build_ms;
   map_.emplace(key, plan);
   return plan;

@@ -3,11 +3,23 @@
 // Scheduling a model is the expensive part of serving it cold: profiling
 // plus a HIOS-LP pass costs ~14 ms on a 512-op DAG (DESIGN.md §6d) — far
 // more than admitting a request. Schedules depend only on (model structure,
-// GPU count, algorithm, merge window) under a fixed platform, so the cache
-// keys on exactly that tuple (model structure via ops::Model::fingerprint)
-// and a warm request costs one hash lookup. Entries are immutable
-// shared_ptrs: a cached plan can be executed concurrently by every stream
-// slot while new models are being profiled.
+// GPU count, algorithm, merge window) under a fixed platform *topology*, so
+// the cache keys on exactly that tuple (model structure via
+// ops::Model::fingerprint) plus a TopologyVersion, and a warm request costs
+// one hash lookup. Entries are immutable shared_ptrs: a cached plan can be
+// executed concurrently by every stream slot while new models are being
+// profiled.
+//
+// Topology versioning (DESIGN.md §6f): without it the cache has a latent
+// staleness bug the moment health state exists — a plan scheduled across 4
+// GPUs before a failure would keep being served after GPU 3 died. The key
+// therefore carries (a) the survivor *mask*, which names exactly which
+// platform GPUs the plan may place work on, and (b) a link-state
+// *generation* (HealthTracker::topology_epoch()), which versions the
+// interconnect: a plan computed before a link went down (or came back) can
+// never be served after. GPU membership is keyed by the mask itself — not
+// the generation — so plans prewarmed for a single-GPU-down mask still hit
+// warm after that GPU actually fails.
 //
 // Invalidation (DESIGN.md §6e): a cache instance is bound to one Platform
 // at construction; registering a different platform means a different
@@ -19,13 +31,24 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cost/analytical_model.h"
 #include "cost/gpu_spec.h"
 #include "ops/model.h"
 #include "sched/scheduler.h"
+#include "serve/request.h"
 
 namespace hios::serve {
+
+/// Which slice of the platform a plan is allowed to target.
+struct TopologyVersion {
+  /// Bit g set iff platform GPU g may carry work. kFullMask = all up.
+  uint32_t mask = kFullMask;
+  /// Link-state generation (bumps on link down/up transitions). Plans are
+  /// never shared across generations.
+  uint64_t generation = 0;
+};
 
 /// One immutable cached scheduling result.
 struct CachedPlan {
@@ -35,21 +58,36 @@ struct CachedPlan {
   double scheduling_ms = 0.0;     ///< wall clock of the cold scheduler pass
   double build_ms = 0.0;          ///< wall clock of profile + schedule (cold)
   std::string algorithm;
+  /// Platform GPU ids the schedule's devices 0..n-1 map onto, ascending.
+  /// For a full-topology plan this is the identity [0, num_gpus).
+  std::vector<int> gpus;
+  uint32_t topo_mask = kFullMask;  ///< mask the plan was built for (normalised)
 };
 
-/// Thread-safe (model, nGPU, algorithm, window) -> plan cache.
+/// Thread-safe (model, nGPU, algorithm, window, topology) -> plan cache.
 class ScheduleCache {
  public:
   explicit ScheduleCache(cost::Platform platform) : platform_(std::move(platform)) {}
 
   /// Returns the plan for (model.fingerprint(), config.num_gpus, algorithm,
-  /// config.window), building it (profile + schedule) on the first request.
+  /// config.window) on the full topology. Equivalent to passing a default
+  /// TopologyVersion below.
+  std::shared_ptr<const CachedPlan> get(const ops::Model& model,
+                                        const std::string& algorithm,
+                                        const sched::SchedulerConfig& config,
+                                        bool* was_hit = nullptr);
+
+  /// Topology-aware lookup: the plan is built on the survivor subset of the
+  /// platform named by `topo.mask` (restricted GPU count and interconnect),
+  /// and keyed additionally on `topo.generation`. config.num_gpus still
+  /// names the *full* platform width; the mask picks survivors out of it.
   /// The build runs under the cache lock: concurrent cold requests for the
-  /// same model serialize instead of scheduling twice. `was_hit`, when
+  /// same key serialize instead of scheduling twice. `was_hit`, when
   /// non-null, reports whether this call hit the cache.
   std::shared_ptr<const CachedPlan> get(const ops::Model& model,
                                         const std::string& algorithm,
                                         const sched::SchedulerConfig& config,
+                                        TopologyVersion topo,
                                         bool* was_hit = nullptr);
 
   std::size_t hits() const;
@@ -65,6 +103,8 @@ class ScheduleCache {
     uint64_t model_fp = 0;
     int num_gpus = 0;
     int window = 0;
+    uint32_t topo_mask = kFullMask;
+    uint64_t topo_generation = 0;
     std::string algorithm;
     bool operator==(const Key&) const = default;
   };
@@ -73,6 +113,8 @@ class ScheduleCache {
       std::size_t h = k.model_fp;
       h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.num_gpus);
       h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.window);
+      h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.topo_mask);
+      h = h * 1099511628211ULL ^ static_cast<std::size_t>(k.topo_generation);
       h = h * 1099511628211ULL ^ std::hash<std::string>{}(k.algorithm);
       return h;
     }

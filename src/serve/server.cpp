@@ -1,15 +1,29 @@
 #include "serve/server.h"
 
 #include <algorithm>
-#include <deque>
+#include <cmath>
 #include <limits>
+#include <set>
 #include <utility>
 
 #include "cost/cost_model.h"
 #include "runtime/failover.h"
 #include "util/error.h"
+#include "util/stats.h"
 
 namespace hios::serve {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// True when `gpu` is inside an outage window at instant `t` ([from, to)).
+bool outage_active(const std::vector<GpuOutage>& outages, int gpu, double t) {
+  for (const GpuOutage& o : outages) {
+    if (o.gpu == gpu && o.from_ms <= t && t < o.to_ms) return true;
+  }
+  return false;
+}
+}  // namespace
 
 double stream_contention_scale(int concurrency, double demand, double kappa) {
   HIOS_CHECK(concurrency >= 1, "stream_contention_scale: concurrency must be >= 1");
@@ -19,16 +33,76 @@ double stream_contention_scale(int concurrency, double demand, double kappa) {
   return cost::contention_stage_time(times, demands, kappa, /*stream_overhead_ms=*/0.0);
 }
 
+void ServerOptions::validate() const {
+  HIOS_CHECK(!platform.name.empty(), "ServerOptions: platform.name must not be empty");
+  HIOS_CHECK(platform.num_gpus >= 1 && platform.num_gpus <= 32,
+             "ServerOptions: platform.num_gpus must be in [1, 32] (got "
+                 << platform.num_gpus << ")");
+  HIOS_CHECK(slots_per_gpu >= 1,
+             "ServerOptions: slots_per_gpu must be >= 1 (got " << slots_per_gpu << ")");
+  HIOS_CHECK(queue_capacity >= 1, "ServerOptions: queue_capacity must be >= 1");
+  HIOS_CHECK(!algorithm.empty(), "ServerOptions: algorithm must not be empty");
+  HIOS_CHECK(request_demand > 0.0 && request_demand <= 1.0,
+             "ServerOptions: request_demand must be in (0, 1] (got "
+                 << request_demand << ")");
+  HIOS_CHECK(max_retries >= 0,
+             "ServerOptions: max_retries must be >= 0 (got " << max_retries << ")");
+  HIOS_CHECK(retry_backoff_ms >= 0.0, "ServerOptions: retry_backoff_ms must be >= 0 (got "
+                                          << retry_backoff_ms << ")");
+  HIOS_CHECK(retry_backoff_multiplier >= 1.0,
+             "ServerOptions: retry_backoff_multiplier must be >= 1 (got "
+                 << retry_backoff_multiplier << ")");
+  HIOS_CHECK(hedge_min_samples >= 1,
+             "ServerOptions: hedge_min_samples must be >= 1 (got " << hedge_min_samples
+                                                                   << ")");
+  health.validate();
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    const GpuOutage& o = outages[i];
+    HIOS_CHECK(o.gpu >= 0 && o.gpu < platform.num_gpus,
+               "ServerOptions: outages[" << i << "].gpu " << o.gpu
+                                         << " out of range [0, " << platform.num_gpus
+                                         << ")");
+    HIOS_CHECK(o.from_ms >= 0.0,
+               "ServerOptions: outages[" << i << "].from_ms must be >= 0 (got "
+                                         << o.from_ms << ")");
+    HIOS_CHECK(o.to_ms > o.from_ms,
+               "ServerOptions: outages[" << i << "].to_ms must be > from_ms");
+  }
+  // At every instant at least one GPU must survive. Concurrent-down count
+  // only changes at window starts, so checking each start suffices.
+  for (std::size_t i = 0; i < outages.size(); ++i) {
+    std::set<int> down;
+    for (const GpuOutage& o : outages) {
+      if (o.from_ms <= outages[i].from_ms && outages[i].from_ms < o.to_ms) {
+        down.insert(o.gpu);
+      }
+    }
+    HIOS_CHECK(static_cast<int>(down.size()) < platform.num_gpus,
+               "ServerOptions: outages leave no survivor GPU at t="
+                   << outages[i].from_ms << " ms");
+  }
+  HIOS_CHECK(!(faults != nullptr && !faults->empty() && !outages.empty()),
+             "ServerOptions: faults (per-request script) and outages (shared "
+             "server-time script) are mutually exclusive");
+}
+
+ServerOptions Server::validated(ServerOptions options) {
+  options.validate();
+  return options;
+}
+
+sched::SchedulerConfig Server::effective_config(const ServerOptions& options) {
+  sched::SchedulerConfig config = options.config;
+  config.num_gpus = options.platform.num_gpus;
+  return config;
+}
+
 Server::Server(ServerOptions options)
-    : options_(std::move(options)),
-      config_(options_.config),
-      cache_(options_.platform) {
-  HIOS_CHECK(options_.platform.num_gpus >= 1, "ServerOptions: platform needs >= 1 GPU");
-  HIOS_CHECK(options_.slots_per_gpu >= 1, "ServerOptions: slots_per_gpu must be >= 1");
-  HIOS_CHECK(options_.queue_capacity > 0, "ServerOptions: queue_capacity must be > 0");
-  HIOS_CHECK(options_.request_demand > 0.0 && options_.request_demand <= 1.0,
-             "ServerOptions: request_demand must be in (0, 1]");
-  config_.num_gpus = options_.platform.num_gpus;
+    : options_(validated(std::move(options))),
+      config_(effective_config(options_)),
+      cache_(options_.platform),
+      health_(options_.platform.num_gpus, options_.health),
+      pool_(cache_, options_.algorithm, config_) {
   metrics_.set_queue_capacity(options_.queue_capacity);
 }
 
@@ -103,10 +177,12 @@ Server::EngineOutcome Server::execute_plan(const ops::Model& model,
 ServeReport Server::run_trace(const Trace& trace) {
   struct Item {
     const Request* req = nullptr;
-    std::shared_ptr<const CachedPlan> plan;
+    std::shared_ptr<const CachedPlan> plan;       ///< full-topology plan
+    std::shared_ptr<const CachedPlan> exec_plan;  ///< plan actually dispatched
     Response resp;
     std::size_t depth_at_admission = 0;  ///< queue depth right after admission
     bool execute = false;                ///< provisionally completed -> engine run
+    int retries = 0;                     ///< failed attempts that re-dispatched
   };
 
   std::vector<Item> items(trace.requests.size());
@@ -117,18 +193,78 @@ ServeReport Server::run_trace(const Trace& trace) {
 
   // Resolve (and cold-build) plans in sorted model-name order so cache
   // hit/miss counters are trace-order independent.
+  std::vector<std::string> trace_models;
   {
     std::map<std::string, std::shared_ptr<const CachedPlan>> plans;
     for (const auto& item : items) plans[item.req->model] = nullptr;
-    for (auto& [name, plan] : plans) plan = resolve_plan(name);
+    for (auto& [name, plan] : plans) {
+      plan = resolve_plan(name);
+      trace_models.push_back(name);
+    }
     for (auto& item : items) item.plan = plans.at(item.req->model);
   }
+
+  // --- health machinery (virtual time, DESIGN.md §6f) -------------------
+  // Victim evidence is queued with its *detection* timestamp and only
+  // applied when virtual time reaches it: a request dispatched before the
+  // failure surfaced must still see the full mask (and become a victim
+  // itself if it overlaps the outage).
+  std::multimap<double, FaultEvidence> evidence;
+  std::size_t seen_transitions = 0;
+  std::pair<uint64_t, uint64_t> warmed{health_.generation(), health_.topology_epoch()};
+
+  auto note_transitions = [&] {
+    while (seen_transitions < health_.transitions().size()) {
+      metrics_.on_health_transition();
+      ++seen_transitions;
+    }
+  };
+  auto prewarm_current = [&] {
+    if (!options_.prewarm_degraded) return;
+    const std::pair<uint64_t, uint64_t> now{health_.generation(),
+                                            health_.topology_epoch()};
+    if (now == warmed) return;
+    warmed = now;
+    for (const std::string& name : trace_models) {
+      const std::size_t builds =
+          pool_.prewarm(model(name), health_.up_mask(), health_.topology_epoch());
+      metrics_.on_pool_prewarm(builds);
+    }
+  };
+  // Replays queued evidence and due probes in time order up to `t`.
+  // `t` must be finite: a permanent outage reschedules probes forever.
+  auto advance_health = [&](double t) {
+    for (;;) {
+      const double next_evidence = evidence.empty() ? kInf : evidence.begin()->first;
+      const double next_probe = health_.next_probe_due_ms();
+      if (std::min(next_evidence, next_probe) > t) break;
+      if (next_evidence <= next_probe) {
+        const FaultEvidence ev = evidence.begin()->second;
+        evidence.erase(evidence.begin());
+        health_.observe(ev);
+      } else {
+        for (int g : health_.take_due_probes(next_probe)) {
+          FaultEvidence ev;
+          const bool up = !outage_active(options_.outages, g, next_probe);
+          ev.kind = up ? FaultEvidence::Kind::kProbeSuccess
+                       : FaultEvidence::Kind::kProbeFailure;
+          ev.gpu = g;
+          ev.at_ms = next_probe;
+          health_.observe(ev);
+          metrics_.on_probe(up);
+        }
+      }
+      note_transitions();
+      prewarm_current();
+    }
+  };
 
   // --- virtual-time admission + dispatch --------------------------------
   // Requests arrive in (arrival, id) order; K = num_lanes() stream slots
   // each hold one in-flight request. A request dispatched while k-1 others
   // overlap its start runs stream_contention_scale(k, ...) slower, frozen
-  // at dispatch.
+  // at dispatch. Retries re-enter the pending set at their backoff-delayed
+  // ready time.
   std::vector<Item*> order;
   order.reserve(items.size());
   for (auto& item : items) order.push_back(&item);
@@ -141,70 +277,220 @@ ServeReport Server::run_trace(const Trace& trace) {
   const int lanes = num_lanes();
   const double kappa = options_.platform.gpu.contention_kappa;
   std::vector<double> lane_free(static_cast<std::size_t>(lanes), 0.0);
-  std::deque<Item*> pending;
 
-  auto free_lane = [&]() -> int {
-    int best = 0;
-    for (int l = 1; l < lanes; ++l) {
-      if (lane_free[static_cast<std::size_t>(l)] <
-          lane_free[static_cast<std::size_t>(best)]) {
+  struct Entry {
+    double ready = 0.0;
+    RequestId id = -1;
+    int attempt = 1;
+    Item* item = nullptr;
+    bool operator<(const Entry& other) const {
+      if (ready != other.ready) return ready < other.ready;
+      if (id != other.id) return id < other.id;
+      return attempt < other.attempt;
+    }
+  };
+  std::set<Entry> pending;
+  std::vector<double> duration_samples;  ///< committed dispatch durations
+
+  auto free_lane = [&](int exclude) -> int {
+    int best = -1;
+    for (int l = 0; l < lanes; ++l) {
+      if (l == exclude) continue;
+      if (best < 0 || lane_free[static_cast<std::size_t>(l)] <
+                          lane_free[static_cast<std::size_t>(best)]) {
         best = l;
       }
     }
     return best;
   };
+  auto in_flight_at = [&](int lane, double start) {
+    int k = 1;
+    for (int l = 0; l < lanes; ++l) {
+      if (l != lane && lane_free[static_cast<std::size_t>(l)] > start) ++k;
+    }
+    return k;
+  };
+  // Earliest outage window overlapping [start, finish) on a GPU the plan
+  // places work on; nullptr when the run is clear.
+  auto victim_outage = [&](const std::vector<int>& gpus, double start,
+                           double finish) -> const GpuOutage* {
+    const GpuOutage* best = nullptr;
+    for (const GpuOutage& o : options_.outages) {
+      if (!(o.from_ms < finish && o.to_ms > start)) continue;
+      if (std::find(gpus.begin(), gpus.end(), o.gpu) == gpus.end()) continue;
+      if (best == nullptr || std::max(start, o.from_ms) < std::max(start, best->from_ms)) {
+        best = &o;
+      }
+    }
+    return best;
+  };
+  // The survivor-topology plan for the current health state (full-topology
+  // plans bypass the pool so healthy traffic keeps the legacy counters).
+  auto current_plan = [&](Item* item) -> std::shared_ptr<const CachedPlan> {
+    if (health_.all_up() && health_.topology_epoch() == 0) return item->plan;
+    bool hit = false;
+    auto plan = pool_.plan_for(model(item->req->model), health_.up_mask(),
+                               health_.topology_epoch(), &hit);
+    metrics_.on_pool_result(hit);
+    return plan;
+  };
 
   // Dispatches queued requests whose lane frees up by `horizon`.
   auto dispatch_until = [&](double horizon) {
     while (!pending.empty()) {
-      const int lane = free_lane();
-      const double lane_ms = lane_free[static_cast<std::size_t>(lane)];
-      if (lane_ms > horizon) break;
-      Item* item = pending.front();
-      pending.pop_front();
-      const double start = std::max(lane_ms, item->req->arrival_ms);
-      int in_flight = 1;
-      for (int l = 0; l < lanes; ++l) {
-        if (l != lane && lane_free[static_cast<std::size_t>(l)] > start) ++in_flight;
-      }
+      const Entry e = *pending.begin();
+      const int lane = free_lane(-1);
+      const double start = std::max(lane_free[static_cast<std::size_t>(lane)], e.ready);
+      if (start > horizon) break;
+      pending.erase(pending.begin());
+      advance_health(start);
+      Item* item = e.item;
+      Response& resp = item->resp;
+
+      auto plan = current_plan(item);
+      const int in_flight = in_flight_at(lane, start);
       const double scale =
           stream_contention_scale(in_flight, options_.request_demand, kappa);
-      const double duration = item->plan->latency_ms * scale;
+      const double duration = plan->latency_ms * scale;
+      const double finish = start + duration;
 
-      Response& resp = item->resp;
       resp.lane = lane;
       resp.concurrency = in_flight;
       resp.queue_ms = start - item->req->arrival_ms;
       resp.start_ms = start;
-      resp.base_ms = item->plan->latency_ms;
+      resp.base_ms = plan->latency_ms;
       resp.contention_scale = scale;
-      if (start + duration > item->req->deadline_ms) {
-        // Unmeetable deadline: drop without occupying the lane.
-        resp.verdict = Verdict::kDropped;
+      resp.attempts = e.attempt;
+      resp.topo_mask = plan->topo_mask;
+
+      if (finish > item->req->deadline_ms) {
+        // Unmeetable deadline: never executed, lane untouched. The first
+        // attempt is a plain drop; a retry that can no longer make it
+        // terminates as failed (the request did burn a failed attempt).
         resp.finish_ms = start;
         resp.latency_ms = 0.0;
-      } else {
-        resp.verdict = Verdict::kCompleted;  // provisional until engine run
-        resp.finish_ms = start + duration;
-        resp.latency_ms = resp.finish_ms - item->req->arrival_ms;
-        lane_free[static_cast<std::size_t>(lane)] = resp.finish_ms;
-        item->execute = true;
+        if (e.attempt == 1) {
+          resp.verdict = Verdict::kDropped;
+        } else {
+          resp.verdict = Verdict::kFailed;
+          resp.error = "deadline unmeetable after failed attempt";
+        }
+        continue;
       }
+
+      if (const GpuOutage* o = victim_outage(plan->gpus, start, finish)) {
+        // A GPU this plan lands work on dies mid-request: the attempt
+        // fails at detection time, the lane is held until then, and the
+        // failure becomes shared health evidence (applied when virtual
+        // time reaches it).
+        const double detected = std::max(start, o->from_ms);
+        lane_free[static_cast<std::size_t>(lane)] = detected;
+        FaultEvidence ev;
+        ev.kind = FaultEvidence::Kind::kFailStop;
+        ev.gpu = o->gpu;
+        ev.at_ms = detected;
+        ev.detail = "outage window";
+        evidence.emplace(detected, ev);
+
+        const bool attempts_left = e.attempt <= options_.max_retries;
+        const double backoff =
+            options_.retry_backoff_ms *
+            std::pow(options_.retry_backoff_multiplier, e.attempt - 1);
+        const double retry_ready = detected + backoff;
+        // Deadline-aware: retry only when an uncontended re-run could
+        // still make it (the failed plan's base latency is the estimate).
+        const bool feasible =
+            retry_ready + plan->latency_ms <= item->req->deadline_ms;
+        if (attempts_left && feasible) {
+          ++item->retries;
+          pending.insert(Entry{retry_ready, e.id, e.attempt + 1, item});
+          metrics_.record_queue_depth(pending.size());
+        } else {
+          resp.verdict = Verdict::kFailed;
+          resp.finish_ms = detected;
+          resp.latency_ms = detected - item->req->arrival_ms;
+          resp.error = attempts_left ? "retry abandoned: deadline unmeetable"
+                                     : "retries exhausted: gpu outage";
+        }
+        continue;
+      }
+
+      // Committed: the attempt completes (provisionally, until the engine
+      // proves the tensors).
+      resp.verdict = Verdict::kCompleted;
+      resp.finish_ms = finish;
+      resp.latency_ms = finish - item->req->arrival_ms;
+      resp.recovered = e.attempt > 1;
+      lane_free[static_cast<std::size_t>(lane)] = finish;
+      item->execute = true;
+      item->exec_plan = plan;
+
+      // Hedge: when this dispatch projects far beyond the p99 of earlier
+      // ones, issue a backup on the next-free lane, cancel the loser the
+      // moment the winner completes, keep the winner's numbers. The hedge
+      // wins when its lane has drained enough that its (later) start pays
+      // a smaller contention scale.
+      if (options_.hedge_multiplier > 0.0 && lanes > 1 &&
+          static_cast<int>(duration_samples.size()) >= options_.hedge_min_samples &&
+          duration >
+              options_.hedge_multiplier * percentile(duration_samples, 0.99)) {
+        const int lane2 = free_lane(lane);
+        const double start2 =
+            std::max(lane_free[static_cast<std::size_t>(lane2)], start);
+        const int k2 = in_flight_at(lane2, start2);
+        const double scale2 =
+            stream_contention_scale(k2, options_.request_demand, kappa);
+        const double finish2 = start2 + plan->latency_ms * scale2;
+        if (victim_outage(plan->gpus, start2, finish2) == nullptr) {
+          resp.hedged = true;
+          const double winner = std::min(finish, finish2);
+          lane_free[static_cast<std::size_t>(lane)] = winner;
+          lane_free[static_cast<std::size_t>(lane2)] = winner;
+          if (finish2 < finish) {
+            resp.hedge_won = true;
+            resp.lane = lane2;
+            resp.concurrency = k2;
+            resp.contention_scale = scale2;
+            resp.queue_ms = start2 - item->req->arrival_ms;
+            resp.start_ms = start2;
+            resp.finish_ms = finish2;
+            resp.latency_ms = finish2 - item->req->arrival_ms;
+          }
+        }
+      }
+      duration_samples.push_back(duration);
     }
   };
 
   for (Item* item : order) {
-    dispatch_until(item->req->arrival_ms);
+    const double arrival = item->req->arrival_ms;
+    dispatch_until(arrival);
+    advance_health(arrival);
+    if (options_.breaker && !health_.all_up() &&
+        std::isfinite(item->req->deadline_ms)) {
+      // Circuit breaker: when even an immediately-dispatched run on the
+      // survivor plan cannot make the deadline, shed at admission instead
+      // of letting the request rot in the queue.
+      auto plan = current_plan(item);
+      const double free_at = lane_free[static_cast<std::size_t>(free_lane(-1))];
+      const double estimate = std::max(arrival, free_at) + plan->latency_ms;
+      if (estimate > item->req->deadline_ms) {
+        item->resp.verdict = Verdict::kBreakerRejected;
+        item->resp.finish_ms = arrival;
+        item->resp.topo_mask = plan->topo_mask;
+        continue;
+      }
+    }
     if (pending.size() >= options_.queue_capacity) {
       item->resp.verdict = Verdict::kRejected;
-      item->resp.finish_ms = item->req->arrival_ms;
+      item->resp.finish_ms = arrival;
     } else {
-      pending.push_back(item);
+      pending.insert(Entry{arrival, item->req->id, 1, item});
       item->depth_at_admission = pending.size();
       metrics_.record_queue_depth(pending.size());
     }
   }
-  dispatch_until(std::numeric_limits<double>::infinity());
+  dispatch_until(kInf);
 
   // --- engine execution of the admitted requests ------------------------
   // Real worker pool fed by the bounded queue: the liveness/TSan surface.
@@ -225,7 +511,7 @@ ServeReport Server::run_trace(const Trace& trace) {
         pool.emplace_back([&] {
           while (auto idx = work.pop()) {
             Item& item = items[*idx];
-            outcomes[*idx] = execute_plan(model(item.req->model), *item.plan);
+            outcomes[*idx] = execute_plan(model(item.req->model), *item.exec_plan);
           }
         });
       }
@@ -250,8 +536,13 @@ ServeReport Server::run_trace(const Trace& trace) {
     metrics_.on_submitted();
     if (resp.verdict == Verdict::kRejected) {
       metrics_.on_rejected();
+    } else if (resp.verdict == Verdict::kBreakerRejected) {
+      metrics_.on_breaker_rejected();
     } else {
       metrics_.on_admitted(item.depth_at_admission);
+      for (int r = 0; r < item.retries; ++r) metrics_.on_retried();
+      if (resp.hedged) metrics_.on_hedged();
+      if (resp.hedge_won) metrics_.on_hedge_won();
       if (item.execute && options_.use_engine) {
         EngineOutcome& out = outcomes[idx];
         if (!out.ok) {
@@ -260,15 +551,17 @@ ServeReport Server::run_trace(const Trace& trace) {
           metrics_.on_failed(out.watchdog);
         } else {
           resp.outputs = std::move(out.outputs);
-          resp.recovered = out.recovered;
+          resp.recovered = resp.recovered || out.recovered;
           metrics_.on_completed(resp.latency_ms, resp.queue_ms);
           if (options_.faults != nullptr) metrics_.on_failover(out.recovery);
           report.timeline.merge(out.timeline.shifted(resp.start_ms));
         }
       } else if (resp.verdict == Verdict::kCompleted) {
         metrics_.on_completed(resp.latency_ms, resp.queue_ms);
-      } else {
+      } else if (resp.verdict == Verdict::kDropped) {
         metrics_.on_dropped();
+      } else {
+        metrics_.on_failed(false);
       }
     }
     report.makespan_ms = std::max(report.makespan_ms, resp.finish_ms);
@@ -279,6 +572,7 @@ ServeReport Server::run_trace(const Trace& trace) {
   const Metrics::Snapshot snap = metrics_.snapshot();
   report.throughput_rps = snap.throughput_rps();
   report.metrics = metrics_.to_json();
+  report.health = health_.to_json();
   return report;
 }
 
@@ -324,6 +618,38 @@ void Server::drain() {
   workers_.clear();
 }
 
+void Server::observe_online_failures(const std::string& model_name,
+                                     const std::vector<int>& failed_gpus,
+                                     double at_ms) {
+  if (failed_gpus.empty()) return;
+  std::size_t new_transitions = 0;
+  uint32_t mask = kFullMask;
+  uint64_t epoch = 0;
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    const std::size_t before = health_.transitions().size();
+    for (int g : failed_gpus) {
+      if (g < 0 || g >= health_.num_gpus()) continue;
+      FaultEvidence ev;
+      ev.kind = FaultEvidence::Kind::kFailStop;
+      ev.gpu = g;
+      ev.at_ms = at_ms;
+      ev.detail = "failover-observed fail-stop";
+      health_.observe(ev);
+    }
+    new_transitions = health_.transitions().size() - before;
+    mask = health_.up_mask();
+    epoch = health_.topology_epoch();
+  }
+  for (std::size_t i = 0; i < new_transitions; ++i) metrics_.on_health_transition();
+  if (new_transitions > 0 && options_.prewarm_degraded) {
+    // Prewarm in the observing worker: "background" relative to the other
+    // lanes, which keep serving while the survivor plans build.
+    const std::size_t builds = pool_.prewarm(model(model_name), mask, epoch);
+    metrics_.on_pool_prewarm(builds);
+  }
+}
+
 void Server::online_worker() {
   while (auto popped = online_queue_->pop()) {
     OnlineItem item = std::move(*popped);
@@ -331,15 +657,66 @@ void Server::online_worker() {
     Response resp;
     resp.id = req.id;
     try {
-      auto plan = resolve_plan(req.model);
+      {
+        // Optimistic half-open probing: a due probe lets the GPU take
+        // traffic again; the next observed failure re-marks it down.
+        std::lock_guard<std::mutex> lock(health_mu_);
+        for (int g : health_.take_due_probes(req.arrival_ms)) {
+          FaultEvidence ev;
+          ev.kind = FaultEvidence::Kind::kProbeSuccess;
+          ev.gpu = g;
+          ev.at_ms = req.arrival_ms;
+          health_.observe(ev);
+          metrics_.on_probe(true);
+        }
+      }
+      const int attempts_allowed = 1 + std::max(0, options_.max_retries);
+      std::shared_ptr<const CachedPlan> plan;
+      EngineOutcome out;
+      for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+        uint32_t mask = kFullMask;
+        uint64_t epoch = 0;
+        bool all_up = true;
+        {
+          std::lock_guard<std::mutex> lock(health_mu_);
+          mask = health_.up_mask();
+          epoch = health_.topology_epoch();
+          all_up = health_.all_up();
+        }
+        if (all_up && epoch == 0) {
+          plan = resolve_plan(req.model);
+        } else {
+          bool hit = false;
+          plan = pool_.plan_for(model(req.model), mask, epoch, &hit);
+          metrics_.on_pool_result(hit);
+        }
+        resp.attempts = attempt;
+        if (options_.use_engine) {
+          out = execute_plan(model(req.model), *plan);
+        } else {
+          out = EngineOutcome{};
+          out.ok = true;
+        }
+        if (out.ok) {
+          if (options_.use_engine && options_.faults != nullptr) {
+            metrics_.on_failover(out.recovery);
+            // Schedule-device ids -> platform GPU ids through the plan's
+            // survivor list before they become shared health evidence.
+            std::vector<int> failed;
+            for (int g : out.recovery.failed_gpus) {
+              if (g >= 0 && g < static_cast<int>(plan->gpus.size())) {
+                failed.push_back(plan->gpus[static_cast<std::size_t>(g)]);
+              }
+            }
+            observe_online_failures(req.model, failed, req.arrival_ms);
+          }
+          break;
+        }
+        if (attempt < attempts_allowed) metrics_.on_retried();
+      }
       resp.base_ms = plan->latency_ms;
       resp.start_ms = req.arrival_ms;
-      EngineOutcome out;
-      if (options_.use_engine) {
-        out = execute_plan(model(req.model), *plan);
-      } else {
-        out.ok = true;
-      }
+      resp.topo_mask = plan->topo_mask;
       if (!out.ok) {
         resp.verdict = Verdict::kFailed;
         resp.error = out.error;
@@ -348,16 +725,13 @@ void Server::online_worker() {
         resp.finish_ms = req.arrival_ms + plan->latency_ms;
         resp.latency_ms = plan->latency_ms;
         resp.outputs = std::move(out.outputs);
-        resp.recovered = out.recovered;
+        resp.recovered = out.recovered || resp.attempts > 1;
         if (resp.finish_ms > req.deadline_ms) {
           resp.verdict = Verdict::kDropped;
           metrics_.on_dropped();
         } else {
           resp.verdict = Verdict::kCompleted;
           metrics_.on_completed(resp.latency_ms, resp.queue_ms);
-        }
-        if (options_.faults != nullptr && options_.use_engine) {
-          metrics_.on_failover(out.recovery);
         }
       }
     } catch (const std::exception& e) {

@@ -6,7 +6,9 @@
 //
 //   * Admission: a bounded MPMC queue with per-request deadlines. A full
 //     queue rejects (overload shedding); an admitted request whose deadline
-//     cannot be met at dispatch time is dropped without executing.
+//     cannot be met at dispatch time is dropped without executing; under a
+//     degraded topology a circuit breaker sheds requests whose deadline no
+//     survivor plan can meet (kBreakerRejected).
 //   * Stream slots: `slots_per_gpu` lanes, each spanning the whole vGPU
 //     set, execute up to K requests concurrently — the modelled analogue of
 //     running K CUDA streams per GPU (§III-A's L). Overlapping requests
@@ -15,21 +17,34 @@
 //     (cost::contention_stage_time, the Fig. 1 experiment): a request
 //     dispatched while k-1 others are in flight runs
 //     stream_contention_scale(k, demand, kappa) times slower.
-//   * Schedule cache: (model fingerprint, nGPU, algorithm, window) -> plan,
-//     so repeat requests skip profiling + scheduling entirely.
+//   * Schedule cache + plan pool: (model fingerprint, nGPU, algorithm,
+//     window, topology) -> plan, so repeat requests skip profiling +
+//     scheduling entirely — including requests planned around a dead GPU,
+//     whose survivor plans the PlanPool prewarms on health transitions.
+//   * Health (DESIGN.md §6f): a HealthTracker owns fault state *across*
+//     requests — the first failure marks the GPU down for everyone, later
+//     requests are planned on the survivors, deterministic probes bring
+//     the GPU back. Failed requests retry with exponential backoff onto
+//     the survivor plan (bounded, deadline-aware); slow requests may hedge
+//     a second dispatch on a p99-based trigger.
 //   * Metrics: serve::Metrics counters + tail-latency reservoirs, threaded
-//     through the engine (watchdog fires) and failover (recoveries).
+//     through the engine (watchdog fires), failover (recoveries), and the
+//     resilience layer (retried / hedged / hedge_won / breaker_rejected).
 //
 // Two entry points share those pieces:
 //   * run_trace(trace) — deterministic serving of a virtual-time request
-//     trace. Admission, dispatch, contention, and every metric are computed
-//     in virtual time (bit-identical across reruns and thread counts);
-//     engine execution of the admitted requests still runs on a real
-//     worker pool fed by the bounded queue, proving the tensors.
+//     trace. Admission, dispatch, contention, health transitions, probes,
+//     retries, and every metric are computed in virtual time (bit-identical
+//     across reruns and thread counts); engine execution of the admitted
+//     requests still runs on a real worker pool fed by the bounded queue,
+//     proving the tensors. GPU failures come from ServerOptions::outages
+//     (server-virtual-time windows shared by all requests).
 //   * start()/submit()/drain() — online API: callers race submit() against
 //     the bounded queue from any thread; lane workers execute and fulfil
 //     futures. Wall-clock-concurrent, conservation-exact, but completion
 //     order (hence reservoir insertion order) is scheduling-dependent.
+//     Health state is fed from observed failover recoveries and shared
+//     across lanes under a mutex.
 #pragma once
 
 #include <future>
@@ -41,7 +56,9 @@
 
 #include "cost/gpu_spec.h"
 #include "fault/fault_plan.h"
+#include "serve/health.h"
 #include "serve/metrics.h"
+#include "serve/plan_pool.h"
 #include "serve/queue.h"
 #include "serve/request.h"
 #include "serve/schedule_cache.h"
@@ -68,11 +85,40 @@ struct ServerOptions {
   bool use_engine = true;
   /// Fault script injected into every request's engine run (per-request
   /// virtual time, so each request sees the same script). nullptr = none.
+  /// Mutually exclusive with `outages`.
   const fault::FaultPlan* faults = nullptr;
   /// Reschedule-on-survivors when a fault leaves a request incomplete.
   bool failover = true;
   /// Engine wall-clock watchdog per blocking receive (<= 0 disables).
   double watchdog_ms = 60000.0;
+
+  // --- degraded-mode serving (DESIGN.md §6f) ----------------------------
+  /// Server-virtual-time GPU outage windows (the chaos script): unlike
+  /// `faults`, one request's failure here is everyone's failure — the
+  /// HealthTracker marks the GPU down and later requests plan around it.
+  /// Mutually exclusive with `faults`.
+  std::vector<GpuOutage> outages;
+  HealthOptions health;
+  /// Re-dispatch attempts after a failed one (0 disables retries).
+  int max_retries = 2;
+  /// First retry backoff; each further retry multiplies it.
+  double retry_backoff_ms = 1.0;
+  double retry_backoff_multiplier = 2.0;
+  /// Hedge trigger: issue a backup dispatch when a request's projected
+  /// execution time exceeds hedge_multiplier * p99 of prior dispatches
+  /// (<= 0 disables hedging; needs >= hedge_min_samples history).
+  double hedge_multiplier = 0.0;
+  int hedge_min_samples = 16;
+  /// Shed deadline requests at admission when even an unqueued survivor
+  /// plan cannot meet the deadline (degraded topology only).
+  bool breaker = true;
+  /// Prewarm survivor plans (current mask + every single-GPU-down subset)
+  /// on each health transition.
+  bool prewarm_degraded = true;
+
+  /// Throws hios::Error naming the offending field on invalid values
+  /// (negative counts, out-of-range outages, faults+outages together, ...).
+  void validate() const;
 };
 
 /// Everything a deterministic trace run produced.
@@ -84,6 +130,7 @@ struct ServeReport {
   /// and merged (engine mode only).
   sim::Timeline timeline;
   Json metrics;                     ///< Metrics::to_json() after the run
+  Json health;                      ///< HealthTracker::to_json() after the run
 };
 
 /// Slowdown of one request when `concurrency` requests share the vGPU set,
@@ -119,6 +166,8 @@ class Server {
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }
   ScheduleCache& cache() { return cache_; }
+  PlanPool& plan_pool() { return pool_; }
+  const HealthTracker& health() const { return health_; }
   const ServerOptions& options() const { return options_; }
   /// Concurrent request lanes (= slots_per_gpu).
   int num_lanes() const { return options_.slots_per_gpu; }
@@ -138,14 +187,23 @@ class Server {
     std::promise<Response> promise;
   };
 
+  static ServerOptions validated(ServerOptions options);
+  static sched::SchedulerConfig effective_config(const ServerOptions& options);
+
   std::shared_ptr<const CachedPlan> resolve_plan(const std::string& model_name);
   EngineOutcome execute_plan(const ops::Model& model, const CachedPlan& plan);
   void online_worker();
+  /// Online path: observed failed GPUs -> health evidence + prewarm.
+  void observe_online_failures(const std::string& model_name,
+                               const std::vector<int>& failed_gpus, double at_ms);
 
   ServerOptions options_;
   sched::SchedulerConfig config_;  ///< options_.config with num_gpus applied
   ScheduleCache cache_;
   Metrics metrics_;
+  HealthTracker health_;
+  PlanPool pool_;
+  mutable std::mutex health_mu_;   ///< guards health_ on the online path
   std::map<std::string, ops::Model> models_;
   mutable std::mutex models_mu_;
 

@@ -112,6 +112,54 @@ TEST(FaultPlan, JsonRoundTripPreservesEverything) {
   EXPECT_DOUBLE_EQ(back.link_faults[1].bw_scale, 3.0);
 }
 
+TEST(FaultPlan, FromJsonRejectsUnknownKeys) {
+  // Structured errors name the offending key, so a typo in a chaos script
+  // fails loudly instead of silently injecting nothing.
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(R"({"fail_stop": []})")), Error);
+  EXPECT_THROW(
+      FaultPlan::from_json(Json::parse(R"({"fail_stops": [{"gpu": 0, "at": 1.0}]})")),
+      Error);
+  EXPECT_THROW(FaultPlan::from_json(
+                   Json::parse(R"({"retry": {"max_attempts": 3, "backoff": 1.0}})")),
+               Error);
+  try {
+    FaultPlan::from_json(Json::parse(R"({"stragglerz": []})"));
+    FAIL() << "unknown key must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("stragglerz"), std::string::npos) << e.what();
+  }
+}
+
+TEST(FaultPlan, FromJsonRejectsOutOfRangeValues) {
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"fail_stops": [{"gpu": -1, "at_ms": 1.0}]})")),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"fail_stops": [{"gpu": 0, "at_ms": -1.0}]})")),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"stragglers": [{"gpu": 0, "from_ms": 0.0, "slowdown": 0.5}]})")),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"link_faults": [{"gpu_a": 1, "gpu_b": 1, "from_ms": 0.0}]})")),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"link_faults": [{"gpu_a": 0, "gpu_b": 1, "from_ms": 2.0, "to_ms": 1.0}]})")),
+               Error);
+  EXPECT_THROW(FaultPlan::from_json(Json::parse(
+                   R"({"retry": {"initial_backoff_ms": -0.5}})")),
+               Error);
+  // The error is indexed so a long script pinpoints the bad event.
+  try {
+    FaultPlan::from_json(Json::parse(
+        R"({"fail_stops": [{"gpu": 0, "at_ms": 1.0}, {"gpu": 1, "at_ms": -2.0}]})"));
+    FAIL() << "negative time must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("fail_stops[1]"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(FaultPlan, RandomIsDeterministicInSeed) {
   FaultPlan::RandomParams params;
   params.num_gpus = 4;

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <map>
 #include <set>
 #include <thread>
 
@@ -144,6 +145,74 @@ TEST(ServeStress, SaturatedQueueShedsButConserves) {
   EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
   expect_no_losses(futures, server, kThreads * kPerThread);
   EXPECT_LE(server.metrics().snapshot().queue_high_watermark, opt.queue_capacity);
+}
+
+TEST(ServeStress, MidSoakGpuKillAndRecoveryConserves) {
+  // Degraded-mode soak (DESIGN.md §6f): GPU 1 dies a quarter into the
+  // trace and probes back up, with per-request deadlines making every
+  // resilience verdict reachable (retry, drop, breaker shed, failure).
+  // Pins exactly-once resolution and conservation *including* the new
+  // verdicts while the real engine races underneath.
+  constexpr int kRequests = 64;
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  opt.slots_per_gpu = 4;
+  opt.queue_capacity = 64;
+
+  TraceParams params;
+  params.models = {"branchy"};
+  params.num_requests = kRequests;
+  params.mean_interarrival_ms = 0.02;
+  Trace trace = Trace::random(params, 2026);
+
+  // Calibrate the fault-free virtual makespan so the outage window, the
+  // deadlines, and the probe/retry backoffs all scale with the model.
+  double makespan = 0.0;
+  {
+    ServerOptions calib = opt;
+    calib.use_engine = false;
+    Server server(calib);
+    server.register_model("branchy", branchy_model());
+    makespan = server.run_trace(trace).makespan_ms;
+  }
+  ASSERT_GT(makespan, 0.0);
+  for (Request& r : trace.requests) r.deadline_ms = r.arrival_ms + 0.5 * makespan;
+  opt.outages.push_back(GpuOutage{1, 0.25 * makespan, 0.45 * makespan});
+  opt.retry_backoff_ms = 0.01 * makespan;
+  opt.health.probe_backoff_ms = 0.02 * makespan;
+  opt.health.probe_max_backoff_ms = 0.08 * makespan;
+
+  Server server(opt);
+  server.register_model("branchy", branchy_model());
+  const ServeReport report = server.run_trace(trace);
+  const Metrics::Snapshot s = server.metrics().snapshot();
+
+  // Exactly-once: every id resolves to one terminal verdict, and the
+  // per-verdict tallies in the responses equal the metric counters.
+  ASSERT_EQ(report.responses.size(), static_cast<std::size_t>(kRequests));
+  std::set<RequestId> ids;
+  std::map<Verdict, int64_t> tally;
+  for (const Response& r : report.responses) {
+    EXPECT_TRUE(ids.insert(r.id).second) << "duplicate response id " << r.id;
+    ++tally[r.verdict];
+  }
+  EXPECT_EQ(tally[Verdict::kCompleted], s.completed);
+  EXPECT_EQ(tally[Verdict::kRejected], s.rejected);
+  EXPECT_EQ(tally[Verdict::kDropped], s.dropped);
+  EXPECT_EQ(tally[Verdict::kFailed], s.failed);
+  EXPECT_EQ(tally[Verdict::kBreakerRejected], s.breaker_rejected);
+
+  EXPECT_TRUE(s.conserved()) << "submitted=" << s.submitted
+                             << " admitted=" << s.admitted
+                             << " breaker_rejected=" << s.breaker_rejected;
+  EXPECT_EQ(s.submitted, kRequests);
+  EXPECT_EQ(s.watchdog_fires, 0);
+  EXPECT_GT(s.completed, 0);
+
+  // The kill visibly bit and the health layer reacted to it.
+  EXPECT_GE(s.health_transitions, 1);
+  EXPECT_GT(s.retried + s.dropped + s.failed + s.breaker_rejected, 0);
+  EXPECT_EQ(s.pool_misses, 0) << "survivor plans must come prewarmed";
 }
 
 TEST(ServeStress, TraceModeUnderFaultsTerminates) {

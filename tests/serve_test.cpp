@@ -98,6 +98,137 @@ TEST(ScheduleCache, KeyDistinguishesConfigAndStructure) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST(ScheduleCache, TopologyMaskKeysSurvivorPlans) {
+  ScheduleCache cache(cost::make_a40_server(4));
+  const ops::Model m = tiny_model();
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  bool hit = false;
+  auto full = cache.get(m, "hios-lp", config, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(full->topo_mask, kFullMask);
+  EXPECT_EQ(full->gpus, (std::vector<int>{0, 1, 2, 3}));
+
+  // A survivor mask builds (and caches) a distinct plan on fewer GPUs.
+  auto degraded = cache.get(m, "hios-lp", config, TopologyVersion{0b0111u, 0}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(degraded->topo_mask, 0b0111u);
+  EXPECT_EQ(degraded->gpus, (std::vector<int>{0, 1, 2}));
+  EXPECT_NE(degraded.get(), full.get());
+  cache.get(m, "hios-lp", config, TopologyVersion{0b0111u, 0}, &hit);
+  EXPECT_TRUE(hit);
+
+  // The legacy overload is exactly the full-mask entry, and an explicit
+  // all-up mask normalises onto it regardless of how it is spelled.
+  auto legacy = cache.get(m, "hios-lp", config, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(legacy.get(), full.get());
+  cache.get(m, "hios-lp", config, TopologyVersion{0b1111u, 0}, &hit);
+  EXPECT_TRUE(hit);
+
+  // A link-topology generation bump opens a fresh plan space (satellite b:
+  // no stale survivor plan can be served across a topology change).
+  cache.get(m, "hios-lp", config, TopologyVersion{0b0111u, 1}, &hit);
+  EXPECT_FALSE(hit);
+
+  EXPECT_THROW(cache.get(m, "hios-lp", config, TopologyVersion{0u, 0}, &hit), Error);
+}
+
+TEST(PlanPool, PrewarmMakesDegradedLookupsWarm) {
+  ScheduleCache cache(cost::make_a40_server(4));
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  PlanPool pool(cache, "hios-lp", config);
+  const ops::Model m = tiny_model();
+
+  // Prewarm builds the full plan + every single-GPU-down survivor set.
+  EXPECT_EQ(pool.prewarm(m, kFullMask, 0), 5u);
+  EXPECT_EQ(pool.prewarm_builds(), 5u);
+
+  bool hit = false;
+  auto plan = pool.plan_for(m, 0b1011u, 0, &hit);  // GPU 2 down
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(plan->gpus, (std::vector<int>{0, 1, 3}));
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 0u);
+
+  // A mask prewarm did not cover (two GPUs down) is cold exactly once.
+  pool.plan_for(m, 0b0011u, 0, &hit);
+  EXPECT_FALSE(hit);
+  pool.plan_for(m, 0b0011u, 0, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(pool.misses(), 1u);
+
+  // Re-prewarming an already-warm pool performs no builds.
+  EXPECT_EQ(pool.prewarm(m, kFullMask, 0), 0u);
+  EXPECT_EQ(pool.prewarm_builds(), 5u);
+}
+
+TEST(ServerOptions, ValidateRejectsBadFields) {
+  ServerOptions opt;
+  opt.platform = cost::make_a40_server(2);
+  EXPECT_NO_THROW(opt.validate());
+
+  auto expect_invalid = [&](auto mutate) {
+    ServerOptions bad = opt;
+    mutate(bad);
+    EXPECT_THROW(bad.validate(), Error);
+  };
+  expect_invalid([](ServerOptions& o) { o.slots_per_gpu = 0; });
+  expect_invalid([](ServerOptions& o) { o.queue_capacity = 0; });
+  expect_invalid([](ServerOptions& o) { o.platform.name.clear(); });
+  expect_invalid([](ServerOptions& o) { o.algorithm.clear(); });
+  expect_invalid([](ServerOptions& o) { o.request_demand = 0.0; });
+  expect_invalid([](ServerOptions& o) { o.request_demand = 1.5; });
+  expect_invalid([](ServerOptions& o) { o.max_retries = -1; });
+  expect_invalid([](ServerOptions& o) { o.retry_backoff_ms = -1.0; });
+  expect_invalid([](ServerOptions& o) { o.retry_backoff_multiplier = 0.5; });
+  expect_invalid([](ServerOptions& o) { o.hedge_min_samples = 0; });
+  expect_invalid([](ServerOptions& o) { o.health.probe_backoff_ms = 0.0; });
+}
+
+TEST(Metrics, DegradedModeCountersConserve) {
+  Metrics m;
+  for (int i = 0; i < 4; ++i) m.on_submitted();
+  m.on_breaker_rejected();
+  for (int i = 0; i < 3; ++i) m.on_admitted(1);
+  m.on_completed(5.0, 0.5);
+  m.on_completed(6.0, 0.5);
+  m.on_failed(false);
+  m.on_retried();
+  m.on_hedged();
+  m.on_hedge_won();
+  m.on_pool_result(true);
+  m.on_pool_result(false);
+  m.on_pool_prewarm(3);
+  m.on_health_transition();
+  m.on_probe(true);
+  m.on_probe(false);
+
+  const Metrics::Snapshot s = m.snapshot();
+  EXPECT_TRUE(s.conserved()) << "submitted = admitted + rejected + breaker_rejected";
+  EXPECT_EQ(s.breaker_rejected, 1);
+  EXPECT_EQ(s.retried, 1);
+  EXPECT_EQ(s.hedged, 1);
+  EXPECT_EQ(s.hedge_won, 1);
+  EXPECT_EQ(s.pool_hits, 1);
+  EXPECT_EQ(s.pool_misses, 1);
+  EXPECT_EQ(s.pool_prewarm_builds, 3);
+  EXPECT_EQ(s.health_transitions, 1);
+  EXPECT_EQ(s.probes_sent, 2);
+  EXPECT_EQ(s.probes_succeeded, 1);
+
+  const std::string dump = m.to_json().dump();
+  EXPECT_NE(dump.find("\"breaker_rejected\":1"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"plan_pool\""), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"health\""), std::string::npos) << dump;
+
+  // hedge_won > hedged is a broken invariant, not a countable state.
+  Metrics broken;
+  broken.on_hedge_won();
+  EXPECT_FALSE(broken.snapshot().conserved());
+}
+
 TEST(Metrics, ConservationAndJson) {
   Metrics m;
   m.set_queue_capacity(8);
