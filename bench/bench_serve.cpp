@@ -119,6 +119,51 @@ bool cache_cost(bool enforce) {
   return true;
 }
 
+// Cold survivor prewarm: the current mask plus every single-GPU-down
+// subset (5 plans on a 4-GPU platform), built concurrently on the shared
+// pool. Reports wall clock cold and re-warm (everything cached) so the
+// cost of arming failover is visible per thread count.
+bool prewarm_cost(bool enforce, Json& doc) {
+  bench::print_header("Survivor prewarm",
+                      "PlanPool::prewarm: current + single-GPU-down plans, NASNet, 4 GPUs");
+  serve::ScheduleCache cache(cost::make_a40_server(4));
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+  serve::PlanPool pool(cache, "hios-lp", config);
+  const ops::Model model = models::make_nasnet();
+
+  const double t0 = now_ms();
+  const std::size_t cold_builds = pool.prewarm(model, serve::kFullMask, 0);
+  const double cold_ms = now_ms() - t0;
+  const double t1 = now_ms();
+  const std::size_t rewarm_builds = pool.prewarm(model, serve::kFullMask, 0);
+  const double warm_ms = now_ms() - t1;
+
+  TextTable table;
+  table.set_header({"pass", "cold_builds", "wall_ms"});
+  table.add_row({"cold", std::to_string(cold_builds), TextTable::num(cold_ms, 2)});
+  table.add_row({"re-warm", std::to_string(rewarm_builds), TextTable::num(warm_ms, 4)});
+  bench::print_table(table, "serve_prewarm");
+
+  Json j = Json::object();
+  j["threads"] = util::global_pool().num_threads();
+  j["cold_builds"] = static_cast<int64_t>(cold_builds);
+  j["cold_wall_ms"] = cold_ms;
+  j["rewarm_builds"] = static_cast<int64_t>(rewarm_builds);
+  j["rewarm_wall_ms"] = warm_ms;
+  doc["prewarm"] = std::move(j);
+
+  if (cold_builds != 5 || rewarm_builds != 0) {
+    std::fprintf(stderr,
+                 "FAIL: prewarm built %zu cold / %zu re-warm plans (expected 5 / 0)\n",
+                 cold_builds, rewarm_builds);
+    return !enforce;
+  }
+  std::printf("prewarm: 5 survivor plans in %.2f ms cold, %.4f ms re-warm\n\n",
+              cold_ms, warm_ms);
+  return true;
+}
+
 bool degraded_recovery(int num_requests, bool enforce, Json& doc) {
   bench::print_header("Degraded-mode serving",
                       "SqueezeNet, 4 GPUs x 4 slots; GPU 3 dies at 30% and "
@@ -268,13 +313,17 @@ int main(int argc, char** argv) {
   args.add_flag("smoke", "false", "fewer requests (CI regime)")
       .add_flag("assert", "false", "exit 1 when an acceptance gate fails")
       .add_flag("json", "", "write the phase/throughput report as JSON to this path");
+  bench::add_threads_flag(args);
   if (!args.parse(argc, argv)) return 0;
   const bool smoke = args.get_bool("smoke");
   const bool enforce = args.get_bool("assert");
+  const int threads = bench::apply_threads_flag(args);
 
   Json doc = Json::object();
+  doc["threads"] = threads;
   bool ok = throughput_scaling(smoke ? 64 : 256, enforce);
   ok = cache_cost(enforce) && ok;
+  ok = prewarm_cost(enforce, doc) && ok;
   ok = degraded_recovery(smoke ? 96 : 256, enforce, doc) && ok;
 
   const std::string json_path = args.get("json");

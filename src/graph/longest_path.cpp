@@ -7,12 +7,17 @@
 namespace hios::graph {
 
 std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled) {
-  const std::size_t n = g.num_nodes();
-  HIOS_CHECK(scheduled.size() == n, "scheduled mask size mismatch");
-  if (scheduled.count() == n) return std::nullopt;
-
   auto order_opt = topological_sort(g);
   HIOS_CHECK(order_opt.has_value(), "longest_valid_path: graph has a cycle");
+  return longest_valid_path(g, scheduled, *order_opt);
+}
+
+std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled,
+                                            const std::vector<NodeId>& topo_order) {
+  const std::size_t n = g.num_nodes();
+  HIOS_CHECK(scheduled.size() == n, "scheduled mask size mismatch");
+  HIOS_CHECK(topo_order.size() == n, "topo order size mismatch");
+  if (scheduled.count() == n) return std::nullopt;
 
   auto is_scheduled = [&](NodeId v) { return scheduled.test(static_cast<std::size_t>(v)); };
 
@@ -48,7 +53,7 @@ std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& sch
   std::vector<double> full(n, kNegInf), ext(n, kNegInf);
   std::vector<NodeId> parent(n, kInvalidNode);  // predecessor in full(v)'s chain
 
-  for (NodeId v : *order_opt) {
+  for (NodeId v : topo_order) {
     if (is_scheduled(v)) continue;
     const double start_v = g.node_weight(v) + head_bonus[v];
     double best = start_v;

@@ -35,4 +35,11 @@ struct ValidPath {
 /// broken toward the smaller ending-node id, then smaller predecessor ids.
 std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled);
 
+/// Same extraction against a caller-supplied topological order of `g`
+/// (e.g. graph::CompiledGraph::topo_order()). HIOS-LP extracts O(paths)
+/// chains from one graph; passing the precomputed order removes the
+/// per-call topological sort, which otherwise dominates the extraction.
+std::optional<ValidPath> longest_valid_path(const Graph& g, const DynBitset& scheduled,
+                                            const std::vector<NodeId>& topo_order);
+
 }  // namespace hios::graph

@@ -35,7 +35,15 @@ struct SchedulerConfig {
 struct ScheduleResult {
   Schedule schedule;
   double latency_ms = 0.0;     ///< evaluated latency under the cost model
-  double scheduling_ms = 0.0;  ///< wall clock spent inside the scheduler
+  /// Wall-clock time of the whole schedule() call, measured on the calling
+  /// thread from entry to return. When the scheduler fans its search out on
+  /// util::global_pool() this *includes* pool dispatch and the caller's
+  /// wait for workers — it is elapsed time, never per-worker CPU time
+  /// summed, so an 8-thread run reports less than a 1-thread run for the
+  /// same search, not 8x the CPU. Schedules and latency_ms are bit-
+  /// identical for every thread count; scheduling_ms is the only field
+  /// that varies.
+  double scheduling_ms = 0.0;
   std::string algorithm;
 };
 

@@ -88,8 +88,17 @@ void Metrics::on_failover(const runtime::RecoveryMetrics& recovery) {
 }
 
 void Metrics::on_cache_result(bool hit) {
+  on_cache_result(hit ? CacheOutcome::kHit : CacheOutcome::kMiss);
+}
+
+void Metrics::on_cache_result(CacheOutcome outcome) {
   std::lock_guard<std::mutex> lock(mu_);
-  hit ? ++s_.cache_hits : ++s_.cache_misses;
+  ++s_.cache_lookups;
+  switch (outcome) {
+    case CacheOutcome::kHit: ++s_.cache_hits; break;
+    case CacheOutcome::kMiss: ++s_.cache_misses; break;
+    case CacheOutcome::kCoalesced: ++s_.cache_coalesced; break;
+  }
 }
 
 void Metrics::set_queue_capacity(std::size_t capacity) {
@@ -114,7 +123,8 @@ double Metrics::Snapshot::throughput_rps() const {
 
 bool Metrics::Snapshot::conserved() const {
   return submitted == admitted + rejected + breaker_rejected &&
-         admitted == completed + dropped + failed && hedge_won <= hedged;
+         admitted == completed + dropped + failed && hedge_won <= hedged &&
+         cache_lookups == cache_hits + cache_misses + cache_coalesced;
 }
 
 Metrics::Snapshot Metrics::snapshot() const {
@@ -148,6 +158,7 @@ Json Metrics::to_json() const {
   Json cache = Json::object();
   cache["hits"] = s.cache_hits;
   cache["misses"] = s.cache_misses;
+  cache["coalesced"] = s.cache_coalesced;
   j["schedule_cache"] = std::move(cache);
 
   Json pool = Json::object();

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "runtime/failover.h"
+#include "serve/schedule_cache.h"
 #include "util/json.h"
 #include "util/stats.h"
 
@@ -58,7 +59,11 @@ class Metrics {
 
   // --- execution-path detail ------------------------------------------
   void on_failover(const runtime::RecoveryMetrics& recovery);
+  /// Legacy hit/miss view: a coalesced lookup reports as a hit.
   void on_cache_result(bool hit);
+  /// Full outcome: every lookup lands in exactly one of hit / miss /
+  /// coalesced, pinned by Snapshot::conserved().
+  void on_cache_result(CacheOutcome outcome);
   void set_queue_capacity(std::size_t capacity);
   void record_queue_depth(std::size_t depth);
   /// Virtual makespan of the run (for sustained-throughput reporting).
@@ -76,7 +81,8 @@ class Metrics {
     int64_t watchdog_fires = 0;
     int64_t failovers = 0, recovered = 0;
     double reschedule_wall_ms = 0.0;  ///< total failover re-scheduling wall clock
-    int64_t cache_hits = 0, cache_misses = 0;
+    int64_t cache_lookups = 0;
+    int64_t cache_hits = 0, cache_misses = 0, cache_coalesced = 0;
     std::size_t queue_capacity = 0, queue_high_watermark = 0;
     double makespan_ms = 0.0;
     QuantileSummary latency;    ///< completed requests: arrival -> finish
@@ -85,8 +91,10 @@ class Metrics {
     /// Completed requests per virtual second (0 when makespan unset).
     double throughput_rps() const;
     /// submitted = admitted + rejected + breaker_rejected, admitted =
-    /// completed + dropped + failed, and hedge_won <= hedged — false only
-    /// on a live server mid-flight or a lost request.
+    /// completed + dropped + failed, hedge_won <= hedged, and every cache
+    /// lookup has exactly one outcome (lookups = hits + misses +
+    /// coalesced) — false only on a live server mid-flight, a lost
+    /// request, or an unreported cache resolution.
     bool conserved() const;
   };
 

@@ -1,5 +1,9 @@
 #include "serve/plan_pool.h"
 
+#include <vector>
+
+#include "util/thread_pool.h"
+
 namespace hios::serve {
 
 std::shared_ptr<const CachedPlan> PlanPool::plan_for(const ops::Model& model,
@@ -27,17 +31,30 @@ std::size_t PlanPool::prewarm(const ops::Model& model, uint32_t mask,
   const uint32_t width_mask =
       width >= 32 ? 0xFFFFFFFFu : (1u << static_cast<unsigned>(width)) - 1u;
   const uint32_t current = mask & width_mask;
-  std::size_t builds = 0;
-  auto warm = [&](uint32_t m) {
+
+  std::vector<uint32_t> masks;
+  auto enqueue = [&](uint32_t m) {
     if ((m & width_mask) == 0) return;  // no survivor: nothing to plan
-    bool hit = false;
-    cache_.get(model, algorithm_, config_, TopologyVersion{m, generation}, &hit);
-    if (!hit) ++builds;
+    masks.push_back(m);
   };
-  warm(current);
+  enqueue(current);
   for (int g = 0; g < width; ++g) {
-    if (current & (1u << g)) warm(current & ~(1u << g));
+    if (current & (1u << g)) enqueue(current & ~(1u << g));
   }
+
+  // The masks are distinct cache keys, so their cold builds are
+  // independent; run them on the shared pool. Repeat masks across
+  // concurrent prewarms coalesce inside the cache (single-flight), so no
+  // schedule is computed twice.
+  std::vector<char> cold(masks.size(), 0);
+  util::global_pool().parallel_for(masks.size(), [&](std::size_t i) {
+    bool hit = false;
+    cache_.get(model, algorithm_, config_, TopologyVersion{masks[i], generation}, &hit);
+    cold[i] = hit ? 0 : 1;
+  });
+  std::size_t builds = 0;
+  for (char c : cold) builds += static_cast<std::size_t>(c);
+
   std::lock_guard<std::mutex> lock(mu_);
   prewarm_builds_ += builds;
   return builds;

@@ -35,6 +35,19 @@ std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
                                                      const sched::SchedulerConfig& config,
                                                      TopologyVersion topo,
                                                      bool* was_hit) {
+  CacheOutcome outcome = CacheOutcome::kHit;
+  auto plan = get(model, algorithm, config, topo, &outcome);
+  // A coalesced lookup did not pay the build, so the legacy view reports it
+  // as a hit.
+  if (was_hit != nullptr) *was_hit = outcome != CacheOutcome::kMiss;
+  return plan;
+}
+
+std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
+                                                     const std::string& algorithm,
+                                                     const sched::SchedulerConfig& config,
+                                                     TopologyVersion topo,
+                                                     CacheOutcome* outcome) {
   HIOS_CHECK(config.num_gpus >= 1 && config.num_gpus <= 32,
              "ScheduleCache::get: config.num_gpus must be in [1, 32] (got "
                  << config.num_gpus << ")");
@@ -49,16 +62,57 @@ std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
 
   const Key key{model.fingerprint(), config.num_gpus, config.window,
                 mask, topo.generation, algorithm};
-  std::lock_guard<std::mutex> lock(mu_);
-  if (auto it = map_.find(key); it != map_.end()) {
-    ++hits_;
-    if (was_hit != nullptr) *was_hit = true;
-    return it->second;
-  }
-  ++misses_;
-  if (was_hit != nullptr) *was_hit = false;
-  const double t0 = now_ms();
 
+  std::promise<std::shared_ptr<const CachedPlan>> promise;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      if (it->second.plan != nullptr) {
+        ++hits_;
+        if (outcome != nullptr) *outcome = CacheOutcome::kHit;
+        return it->second.plan;
+      }
+      // Another call is building this key right now: wait on its future
+      // instead of scheduling the same model twice.
+      ++coalesced_;
+      if (outcome != nullptr) *outcome = CacheOutcome::kCoalesced;
+      auto pending = it->second.pending;
+      lock.unlock();
+      return pending.get();  // rethrows the builder's exception, if any
+    }
+    ++misses_;
+    if (outcome != nullptr) *outcome = CacheOutcome::kMiss;
+    map_.emplace(key, Slot{nullptr, promise.get_future().share()});
+  }
+
+  // Cold build outside the lock: warm hits and other keys proceed meanwhile.
+  std::shared_ptr<const CachedPlan> plan;
+  try {
+    plan = build_plan(model, algorithm, config, mask, width_mask);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      map_.erase(key);  // allow a later call to retry the key
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = map_[key];
+    slot.plan = plan;
+    slot.pending = {};
+    build_ms_ += plan->build_ms;
+  }
+  promise.set_value(plan);
+  return plan;
+}
+
+std::shared_ptr<const CachedPlan> ScheduleCache::build_plan(
+    const ops::Model& model, const std::string& algorithm,
+    const sched::SchedulerConfig& config, uint32_t mask, uint32_t width_mask) {
+  const double t0 = now_ms();
   const std::vector<int> gpus =
       mask == kFullMask ? survivor_gpus(width_mask, config.num_gpus)
                         : survivor_gpus(mask, config.num_gpus);
@@ -93,8 +147,6 @@ std::shared_ptr<const CachedPlan> ScheduleCache::get(const ops::Model& model,
   plan->algorithm = algorithm;
   plan->gpus = gpus;
   plan->topo_mask = mask;
-  build_ms_ += plan->build_ms;
-  map_.emplace(key, plan);
   return plan;
 }
 
@@ -108,6 +160,11 @@ std::size_t ScheduleCache::misses() const {
   return misses_;
 }
 
+std::size_t ScheduleCache::coalesced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
 double ScheduleCache::total_build_ms() const {
   std::lock_guard<std::mutex> lock(mu_);
   return build_ms_;
@@ -115,7 +172,11 @@ double ScheduleCache::total_build_ms() const {
 
 std::size_t ScheduleCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  std::size_t ready = 0;
+  for (const auto& [key, slot] : map_) {
+    if (slot.plan != nullptr) ++ready;
+  }
+  return ready;
 }
 
 }  // namespace hios::serve

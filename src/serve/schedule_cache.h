@@ -25,8 +25,17 @@
 // at construction; registering a different platform means a different
 // cache. Models are value-copied at build time and never mutate, so
 // entries live for the cache's lifetime.
+//
+// Single-flight misses (DESIGN.md §6g): a cold build runs *outside* the
+// cache lock — holding it would serialize every cold model behind one
+// build and block warm hits meanwhile. Concurrent requests for the same
+// key still schedule exactly once: the first caller installs an in-flight
+// future and builds; latecomers block on that future (a *coalesced*
+// lookup, counted separately from hits and misses). A failed build erases
+// the in-flight entry so the key can be retried.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -64,6 +73,13 @@ struct CachedPlan {
   uint32_t topo_mask = kFullMask;  ///< mask the plan was built for (normalised)
 };
 
+/// How a ScheduleCache lookup was satisfied.
+enum class CacheOutcome {
+  kHit,        ///< plan was ready in the cache
+  kMiss,       ///< this call ran the cold build
+  kCoalesced,  ///< waited on a concurrent call's in-flight build
+};
+
 /// Thread-safe (model, nGPU, algorithm, window, topology) -> plan cache.
 class ScheduleCache {
  public:
@@ -81,17 +97,26 @@ class ScheduleCache {
   /// platform named by `topo.mask` (restricted GPU count and interconnect),
   /// and keyed additionally on `topo.generation`. config.num_gpus still
   /// names the *full* platform width; the mask picks survivors out of it.
-  /// The build runs under the cache lock: concurrent cold requests for the
-  /// same key serialize instead of scheduling twice. `was_hit`, when
-  /// non-null, reports whether this call hit the cache.
+  /// Misses build outside the lock with single-flight coalescing (see the
+  /// file comment). `was_hit`, when non-null, reports hit-or-not
+  /// (coalesced counts as a hit: this call did not pay the build).
   std::shared_ptr<const CachedPlan> get(const ops::Model& model,
                                         const std::string& algorithm,
                                         const sched::SchedulerConfig& config,
                                         TopologyVersion topo,
                                         bool* was_hit = nullptr);
 
+  /// Same lookup, reporting the full outcome (hit / miss / coalesced).
+  std::shared_ptr<const CachedPlan> get(const ops::Model& model,
+                                        const std::string& algorithm,
+                                        const sched::SchedulerConfig& config,
+                                        TopologyVersion topo,
+                                        CacheOutcome* outcome);
+
   std::size_t hits() const;
   std::size_t misses() const;
+  /// Lookups that waited on another call's in-flight build.
+  std::size_t coalesced() const;
   /// Total wall clock spent on cold builds (profile + schedule).
   double total_build_ms() const;
   std::size_t size() const;
@@ -120,11 +145,25 @@ class ScheduleCache {
     }
   };
 
+  /// A ready plan, or the future of one being built by another call.
+  struct Slot {
+    std::shared_ptr<const CachedPlan> plan;
+    std::shared_future<std::shared_ptr<const CachedPlan>> pending;
+  };
+
+  /// Runs the cold build (profile + schedule) for `key`'s survivor slice.
+  /// Called without mu_ held.
+  std::shared_ptr<const CachedPlan> build_plan(const ops::Model& model,
+                                               const std::string& algorithm,
+                                               const sched::SchedulerConfig& config,
+                                               uint32_t mask, uint32_t width_mask);
+
   cost::Platform platform_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<const CachedPlan>, KeyHash> map_;
+  std::unordered_map<Key, Slot, KeyHash> map_;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t coalesced_ = 0;
   double build_ms_ = 0.0;
 };
 

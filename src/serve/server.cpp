@@ -131,9 +131,10 @@ std::shared_ptr<const CachedPlan> Server::resolve_plan(const std::string& model_
     HIOS_CHECK(it != models_.end(), "unknown model '" << model_name << "'");
     registered = &it->second;
   }
-  bool hit = false;
-  auto plan = cache_.get(*registered, options_.algorithm, config_, &hit);
-  metrics_.on_cache_result(hit);
+  CacheOutcome outcome = CacheOutcome::kHit;
+  auto plan =
+      cache_.get(*registered, options_.algorithm, config_, TopologyVersion{}, &outcome);
+  metrics_.on_cache_result(outcome);
   return plan;
 }
 

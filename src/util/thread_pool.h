@@ -1,0 +1,162 @@
+// Deterministic shared thread pool for the schedulers' search loops.
+//
+// The pool's contract is stricter than "run things concurrently": every
+// algorithm built on it must produce *byte-identical* output for any thread
+// count, including 1 (DESIGN.md §6g). Three rules make that composable:
+//
+//   * Static chunking. for_chunks() splits [0, n) into at most
+//     num_threads() contiguous chunks, fixed by arithmetic on (n, threads)
+//     alone — never by which worker happens to be free. Chunk index c is
+//     stable, so per-chunk scratch (scheduler state replicas) binds to c,
+//     not to a thread id.
+//   * Index-ordered reduction. parallel_reduce()/parallel_argmin() combine
+//     per-chunk partials on the calling thread in ascending chunk order;
+//     argmin breaks ties towards the lowest index — exactly what the
+//     sequential left-to-right loop with a strict `<` does.
+//   * Pure work items. Callers must make fn(i) a pure function of i and
+//     of state committed before the call; shared caches they touch
+//     (cost::StageTimeCache) must be value-deterministic: racing fills may
+//     reorder, but every fill computes the identical value.
+//
+// Blocking model: the calling thread executes chunk 0 itself, then helps
+// drain the shared task queue before sleeping, so nested parallel sections
+// (a pool task that itself calls for_chunks, e.g. PlanPool::prewarm ->
+// scheduler -> trial loop) cannot deadlock: a waiting thread only sleeps
+// when the queue is empty, which means its remaining chunks are being
+// executed by live workers.
+//
+// num_threads() resolution: explicit constructor argument > 0, else the
+// HIOS_NUM_THREADS environment variable, else hardware_concurrency(); the
+// result is clamped to [1, kMaxThreads]. num_threads() == 1 runs every
+// section inline on the caller — zero dispatch overhead, bit-identical by
+// construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hios::util {
+
+class ThreadPool {
+ public:
+  static constexpr int kMaxThreads = 256;
+
+  /// num_threads <= 0: resolve from HIOS_NUM_THREADS, then
+  /// hardware_concurrency. The pool spawns num_threads() - 1 workers; the
+  /// caller of each parallel section is the remaining lane.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk, begin, end) over a static partition of [0, n) into
+  /// min(num_threads(), n) contiguous chunks. Blocks until every chunk
+  /// finished. The partition depends only on (n, num_threads()); chunk 0
+  /// runs on the calling thread.
+  void for_chunks(std::size_t n,
+                  const std::function<void(int, std::size_t, std::size_t)>& body);
+
+  /// fn(i) for every i in [0, n), statically chunked as above.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    for_chunks(n, [&](int, std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+
+  /// Deterministic map-reduce: partials combined in ascending chunk order
+  /// on the calling thread. `map(i)` must be pure; `combine(acc, value)`
+  /// is folded left-to-right exactly like the sequential loop
+  ///   for (i : [0, n)) acc = combine(acc, map(i));
+  /// would under a combine that is associative across the chunk cuts.
+  template <typename T, typename MapFn, typename CombineFn>
+  T parallel_reduce(std::size_t n, T identity, MapFn&& map, CombineFn&& combine) {
+    if (n == 0) return identity;
+    const int chunks = num_chunks(n);
+    std::vector<T> partial(static_cast<std::size_t>(chunks), identity);
+    for_chunks(n, [&](int c, std::size_t begin, std::size_t end) {
+      T acc = identity;
+      for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map(i));
+      partial[static_cast<std::size_t>(c)] = acc;
+    });
+    T acc = identity;
+    for (const T& p : partial) acc = combine(acc, p);
+    return acc;
+  }
+
+  /// Index of the minimal key over [0, n); ties break towards the lowest
+  /// index (the sequential `key(i) < best` left-to-right argmin). n must
+  /// be >= 1. `key(i)` must be pure.
+  template <typename KeyFn>
+  std::size_t parallel_argmin(std::size_t n, KeyFn&& key) {
+    struct Best {
+      std::size_t index;
+      double key;
+    };
+    const int chunks = num_chunks(n);
+    std::vector<Best> partial(static_cast<std::size_t>(chunks));
+    for_chunks(n, [&](int c, std::size_t begin, std::size_t end) {
+      Best best{begin, key(begin)};
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        const double k = key(i);
+        if (k < best.key) best = Best{i, k};
+      }
+      partial[static_cast<std::size_t>(c)] = best;
+    });
+    Best best = partial[0];
+    for (int c = 1; c < chunks; ++c) {
+      if (partial[static_cast<std::size_t>(c)].key < best.key)
+        best = partial[static_cast<std::size_t>(c)];
+    }
+    return best.index;
+  }
+
+  /// Number of chunks for_chunks(n, ...) will use.
+  int num_chunks(std::size_t n) const {
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(num_threads_), n));
+  }
+
+ private:
+  void worker_loop();
+  /// Pops and runs queued tasks until the queue is empty (help protocol).
+  void drain_queue();
+
+  int num_threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool the schedulers and the serving layer share.
+/// Lazily built on first use from HIOS_NUM_THREADS / hardware_concurrency.
+ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `num_threads` lanes (<= 0 re-reads
+/// the environment). Callers must ensure no parallel section is running;
+/// intended for process startup (bench --threads) and tests.
+void set_global_threads(int num_threads);
+
+/// RAII thread-count override for tests: sets on construction, restores
+/// the previous count on destruction.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads);
+  ~ScopedThreads();
+  ScopedThreads(const ScopedThreads&) = delete;
+  ScopedThreads& operator=(const ScopedThreads&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace hios::util

@@ -21,6 +21,7 @@
 #include "sched/evaluate.h"
 #include "sched/scheduler.h"
 #include "sched/validate.h"
+#include "util/thread_pool.h"
 
 namespace hios::sched {
 namespace {
@@ -52,12 +53,12 @@ double check_and_evaluate(const graph::Graph& g, const std::string& algorithm,
   return r.latency_ms;
 }
 
-// 140 DAGs x 6 schedulers: validity, evaluator agreement, and the
+// N DAGs x 6 schedulers: validity, evaluator agreement, and the
 // single-GPU oracle bound where it applies.
-TEST(OracleDiff, AllSchedulersRespectSingleGpuOracle) {
+void run_single_gpu_oracle_suite(uint64_t num_seeds) {
   SchedulerConfig config;
   config.num_gpus = 2;
-  for (uint64_t seed = 1; seed <= 140; ++seed) {
+  for (uint64_t seed = 1; seed <= num_seeds; ++seed) {
     const int num_ops = 5 + static_cast<int>(seed % 6);  // 5..10 ops
     const graph::Graph g = small_dag(seed, num_ops);
     // Same stage-size cap as the schedulers' default ios_max_stage_ops.
@@ -73,6 +74,16 @@ TEST(OracleDiff, AllSchedulersRespectSingleGpuOracle) {
       }
     }
   }
+}
+
+TEST(OracleDiff, AllSchedulersRespectSingleGpuOracle) { run_single_gpu_oracle_suite(140); }
+
+// The same suite through the 8-lane pool: the parallel search paths must
+// respect the identical oracle bounds (and, per sched_parallel_test,
+// produce the identical schedules).
+TEST(OracleDiff, AllSchedulersRespectSingleGpuOraclePooled) {
+  util::ScopedThreads pool(8);
+  run_single_gpu_oracle_suite(60);
 }
 
 // 60 DAGs small enough for the exponential inter-GPU oracle: the

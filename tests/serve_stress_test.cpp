@@ -12,11 +12,13 @@
 #include <map>
 #include <set>
 #include <thread>
+#include <tuple>
 
 #include "models/examples.h"
 #include "models/squeezenet.h"
 #include "runtime/engine.h"
 #include "serve/server.h"
+#include "util/thread_pool.h"
 
 namespace hios::serve {
 namespace {
@@ -213,6 +215,61 @@ TEST(ServeStress, MidSoakGpuKillAndRecoveryConserves) {
   EXPECT_GE(s.health_transitions, 1);
   EXPECT_GT(s.retried + s.dropped + s.failed + s.breaker_rejected, 0);
   EXPECT_EQ(s.pool_misses, 0) << "survivor plans must come prewarmed";
+}
+
+TEST(ServeStress, SingleFlightCacheBuildsOnce) {
+  // 8 racing cold lookups of the same key: exactly one build runs; the
+  // rest either hit (build already done) or coalesce onto the in-flight
+  // future. Every caller gets the same plan object. Under TSan this also
+  // races the build-outside-the-lock path against warm readers.
+  ScheduleCache cache(cost::make_a40_server(4));
+  const ops::Model model = small_squeezenet();
+  sched::SchedulerConfig config;
+  config.num_gpus = 4;
+
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const CachedPlan>> plans(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      plans[static_cast<std::size_t>(t)] = cache.get(model, "hios-lp", config);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(plans[static_cast<std::size_t>(t)], plans[0]);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits() + cache.coalesced(), static_cast<std::size_t>(kThreads - 1));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ServeStress, PooledColdPathsMatchSequential) {
+  // 8-lane pool: cold schedule builds, their nested search parallelism,
+  // and concurrent prewarm all fan out on the shared pool while the trace
+  // replays. The deterministic-replay contract must survive: verdict
+  // counts, cache totals, and the virtual makespan equal the 1-lane run,
+  // and conservation (including the cache-lookup law) holds throughout.
+  auto run = [](int threads) {
+    util::ScopedThreads pool(threads);
+    ServerOptions opt;
+    opt.platform = cost::make_a40_server(4);
+    opt.slots_per_gpu = 2;
+    opt.queue_capacity = 64;
+    opt.use_engine = false;
+    Server server(opt);
+    server.register_model("branchy", branchy_model());
+    server.register_model("squeezenet", small_squeezenet());
+    TraceParams params;
+    params.models = {"branchy", "squeezenet"};
+    params.num_requests = 48;
+    params.mean_interarrival_ms = 0.02;
+    const ServeReport report = server.run_trace(Trace::random(params, 11));
+    const Metrics::Snapshot s = server.metrics().snapshot();
+    EXPECT_TRUE(s.conserved()) << "threads=" << threads;
+    return std::tuple(s.completed, s.dropped, s.failed, s.cache_hits, s.cache_misses,
+                      report.makespan_ms);
+  };
+  EXPECT_EQ(run(1), run(8));
 }
 
 TEST(ServeStress, TraceModeUnderFaultsTerminates) {
